@@ -1,0 +1,21 @@
+#include <cstdio>
+#include "core/campaign.h"
+#include "devices/specs.h"
+using namespace pas;
+int main() {
+  for (auto op : {iogen::OpKind::kWrite, iogen::OpKind::kRead}) {
+    std::printf("== %s ==\n", op==iogen::OpKind::kWrite?"randwrite qd1":"randread qd1");
+    for (std::uint32_t bs : core::chunk_sizes()) {
+      double base_avg=0, base_p99=0;
+      for (int ps : {0,1,2}) {
+        iogen::JobSpec s; s.pattern=iogen::Pattern::kRandom; s.op=op;
+        s.block_bytes=bs; s.iodepth=1; s.io_limit_bytes=GiB; // faster probe
+        auto o = core::run_cell(devices::DeviceId::kSsd2, ps, s);
+        if (ps==0){base_avg=o.point.avg_latency_us; base_p99=o.point.p99_latency_us;}
+        std::printf("bs=%4uKiB ps%d avg=%8.1fus (x%.2f) p99=%9.1fus (x%.2f) pw=%.2f\n",
+          bs/1024, ps, o.point.avg_latency_us, o.point.avg_latency_us/base_avg,
+          o.point.p99_latency_us, o.point.p99_latency_us/base_p99, o.point.avg_power_w);
+      }
+    }
+  }
+}

@@ -1,0 +1,80 @@
+// Ablation A1: the power-cap governor's burst and hysteresis windows.
+//
+// NVMe only constrains the 10-second average, so firmware has latitude in
+// how finely it enforces the cap. This sweep shows the trade-off the
+// DESIGN.md calls out: larger burst/hysteresis windows preserve more
+// throughput burst behaviour but blow up write tail latency, while the
+// 10 s window-average compliance holds throughout.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "devices/specs.h"
+#include "devmgmt/admin.h"
+#include "iogen/engine.h"
+#include "power/rig.h"
+#include "sim/simulator.h"
+#include "ssd/device.h"
+
+namespace pas {
+namespace {
+
+struct Result {
+  double tput = 0.0;
+  double avg_us = 0.0;
+  double p99_us = 0.0;
+  Watts mean_w = 0.0;
+  Watts window10s_w = 0.0;
+  std::uint64_t throttle_events = 0;
+};
+
+Result run(double burst_s, double hysteresis_s) {
+  sim::Simulator sim;
+  auto cfg = devices::ssd2_p5510();
+  cfg.governor_burst_seconds = burst_s;
+  cfg.governor_hysteresis_seconds = hysteresis_s;
+  ssd::SsdDevice dev(sim, cfg, 1);
+  devmgmt::NvmeAdmin(dev).set_power_state(2);  // 10 W cap
+  power::MeasurementRig rig(sim, dev, devices::rig_for(devices::DeviceId::kSsd2), 7);
+  rig.start();
+
+  iogen::JobSpec spec = bench::job(iogen::Pattern::kSequential, iogen::OpKind::kWrite,
+                                   256 * KiB, 64);
+  spec.io_limit_bytes = 64ULL * GiB;   // force the 30 s time limit to bind
+  spec.time_limit = seconds(30);
+  const auto r = iogen::run_job(sim, dev, spec);
+  rig.stop();
+
+  Result out;
+  out.tput = r.throughput_mib_s();
+  out.avg_us = r.avg_latency_us();
+  out.p99_us = r.p99_latency_us();
+  out.mean_w = rig.trace().mean_power();
+  out.window10s_w = rig.trace().max_window_average(seconds(10));
+  out.throttle_events = dev.governor().throttle_events();
+  return out;
+}
+
+}  // namespace
+}  // namespace pas
+
+int main(int, char**) {
+  using namespace pas;
+  print_banner("Ablation A1: governor burst/hysteresis vs throughput, tails, compliance");
+  std::printf("SSD2 at ps2 (10 W cap), sequential write 256 KiB qd64, 30 s sustained\n\n");
+  Table t({"burst (s)", "hyst (s)", "MiB/s", "avg us", "p99 us", "mean W", "max 10s-avg W"});
+  const double bursts[] = {0.01, 0.05, 0.25, 1.0};
+  const double hysts[] = {0.0, 0.002, 0.02};
+  for (const double b : bursts) {
+    for (const double h : hysts) {
+      const auto r = run(b, h);
+      t.add_row({Table::fmt(b, 3), Table::fmt(h, 3), Table::fmt(r.tput, 0),
+                 Table::fmt(r.avg_us, 0), Table::fmt(r.p99_us, 0), Table::fmt(r.mean_w, 2),
+                 Table::fmt(r.window10s_w, 2)});
+    }
+  }
+  t.print();
+  std::printf("\nInvariant: every max 10s-average stays at/below the 10 W cap (+measurement\n"
+              "noise), regardless of enforcement granularity. Coarser enforcement mostly\n"
+              "shows up in the p99 column.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Reproduces Figure 3: SSD2 random-write average power under power states
+// ps0/ps1/ps2, across chunk sizes, at (a) queue depth 64 and (b) queue
+// depth 1.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "devices/specs.h"
+
+int main(int argc, char** argv) {
+  using namespace pas;
+  const auto options = bench::parse_options(argc, argv);
+
+  for (const int qd : {64, 1}) {
+    print_banner(std::string("Figure 3") + (qd == 64 ? "a" : "b") +
+                 ": SSD2 random write average power (W), queue depth " + std::to_string(qd));
+    Table t({"chunk", "ps0", "ps1 (cap 12W)", "ps2 (cap 10W)"});
+    for (const std::uint32_t bs : core::chunk_sizes()) {
+      std::vector<std::string> row{bench::kib_label(bs)};
+      for (const int ps : {0, 1, 2}) {
+        const auto out = core::run_cell(
+            devices::DeviceId::kSsd2, ps,
+            bench::job(iogen::Pattern::kRandom, iogen::OpKind::kWrite, bs, qd), options);
+        row.push_back(Table::fmt(out.point.avg_power_w, 2));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+  std::printf("\nPaper: caps bind at large chunks (power clamps to ~12 W / ~10 W); at small\n"
+              "chunks the device draws less than the caps and the states converge.\n");
+  return 0;
+}

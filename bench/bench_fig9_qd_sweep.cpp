@@ -1,0 +1,62 @@
+// Reproduces Figure 9: random-read average power (a) and throughput (b) as
+// queue depth varies, at 4 KiB chunks, for all four devices.
+//
+// Paper headline: qd1 consumes up to 40% less power than qd64, but may
+// deliver only ~10% of the performance.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "devices/specs.h"
+
+int main(int argc, char** argv) {
+  using namespace pas;
+  auto options = bench::parse_options(argc, argv);
+  // 4 KiB random reads at low queue depth are the slowest SSD cells; a
+  // fraction of the byte budget reaches steady state on every device.
+  options.io_limit_scale *= 0.25;
+  const devices::DeviceId ids[] = {devices::DeviceId::kSsd2, devices::DeviceId::kSsd1,
+                                   devices::DeviceId::kSsd3, devices::DeviceId::kHdd};
+
+  std::vector<std::vector<double>> power(4), tput(4);
+  for (std::size_t d = 0; d < 4; ++d) {
+    for (const int qd : core::queue_depths()) {
+      const auto out = core::run_cell(
+          ids[d], 0, bench::job(iogen::Pattern::kRandom, iogen::OpKind::kRead, 4 * KiB, qd),
+          options);
+      power[d].push_back(out.point.avg_power_w);
+      tput[d].push_back(out.point.throughput_mib_s);
+    }
+  }
+
+  print_banner("Figure 9a: random read average power (W) vs queue depth, 4 KiB chunks");
+  {
+    Table t({"qd", "SSD2", "SSD1", "SSD3", "HDD"});
+    for (std::size_t q = 0; q < core::queue_depths().size(); ++q) {
+      t.add_row({Table::fmt_int(core::queue_depths()[q]), Table::fmt(power[0][q], 2),
+                 Table::fmt(power[1][q], 2), Table::fmt(power[2][q], 2),
+                 Table::fmt(power[3][q], 2)});
+    }
+    t.print();
+  }
+
+  print_banner("Figure 9b: random read throughput (MiB/s) vs queue depth, 4 KiB chunks");
+  {
+    Table t({"qd", "SSD2", "SSD1", "SSD3", "HDD"});
+    for (std::size_t q = 0; q < core::queue_depths().size(); ++q) {
+      t.add_row({Table::fmt_int(core::queue_depths()[q]), Table::fmt(tput[0][q], 0),
+                 Table::fmt(tput[1][q], 0), Table::fmt(tput[2][q], 0),
+                 Table::fmt(tput[3][q], 1)});
+    }
+    t.print();
+  }
+
+  std::printf("\nqd1 vs qd64 (paper: up to 40%% less power; as little as 10%% of the perf):\n");
+  const char* names[] = {"SSD2", "SSD1", "SSD3", "HDD"};
+  const std::size_t qd64 = 4;  // index of 64 in {1,4,16,32,64,128}
+  for (std::size_t d = 0; d < 4; ++d) {
+    std::printf("  %-5s power -%4.1f%%   throughput %5.1f%% of qd64\n", names[d],
+                (1.0 - power[d][0] / power[d][qd64]) * 100.0,
+                tput[d][0] / tput[d][qd64] * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Micro-benchmarks (google-benchmark) of the simulator substrate's hot
+// paths: event scheduling, RNG, latency histogram, and the SSD device fast
+// path. These bound how long the paper-scale sweeps take.
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "devices/specs.h"
+#include "sim/simulator.h"
+#include "ssd/device.h"
+
+namespace pas {
+namespace {
+
+void BM_SimulatorScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(microseconds(i), [&fired] { ++fired; });
+    }
+    sim.run_to_completion();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleAndRun);
+
+void BM_SimulatorCascade(benchmark::State& state) {
+  // Self-rescheduling chain: the pattern device models use constantly.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+      if (++depth < 1000) sim.schedule_after(100, chain);
+    };
+    sim.schedule_after(0, chain);
+    sim.run_to_completion();
+    benchmark::DoNotOptimize(depth);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorCascade);
+
+void BM_RngNextBelow(benchmark::State& state) {
+  Rng rng(1);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += rng.next_below(1'000'000);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNextBelow);
+
+void BM_LatencyHistogramAdd(benchmark::State& state) {
+  LatencyHistogram h;
+  Rng rng(2);
+  for (auto _ : state) h.add(static_cast<std::int64_t>(rng.next_below(10'000'000)));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatencyHistogramAdd);
+
+void BM_SsdWritePath(benchmark::State& state) {
+  // End-to-end cost of simulating one 64 KiB write through the full device.
+  sim::Simulator sim;
+  ssd::SsdDevice dev(sim, devices::ssd2_p5510(), 1);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    bool done = false;
+    dev.submit(sim::IoRequest{sim::IoOp::kWrite, offset, 64 * KiB},
+               [&done](const sim::IoCompletion&) { done = true; });
+    while (!done) sim.step();
+    offset = (offset + 64 * KiB) % (1 * GiB);
+  }
+  sim.run_to_completion();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SsdWritePath);
+
+void BM_SsdReadPath(benchmark::State& state) {
+  sim::Simulator sim;
+  ssd::SsdDevice dev(sim, devices::ssd2_p5510(), 1);
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    bool done = false;
+    dev.submit(sim::IoRequest{sim::IoOp::kRead, offset, 4096},
+               [&done](const sim::IoCompletion&) { done = true; });
+    while (!done) sim.step();
+    offset = (offset + 4096) % (1 * GiB);
+  }
+  sim.run_to_completion();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SsdReadPath);
+
+}  // namespace
+}  // namespace pas
+
+BENCHMARK_MAIN();

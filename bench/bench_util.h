@@ -1,0 +1,42 @@
+// Shared helpers for the reproduction bench binaries.
+//
+// Each binary regenerates one table/figure from the paper. By default the
+// sweeps run each cell with a 1 GiB byte budget (a quarter of the paper's
+// 4 GiB) — enough to reach steady state on every device while keeping the
+// full suite fast. Pass --full for the paper's exact 4 GiB / 60 s cells, or
+// --quick for a 256 MiB smoke run.
+#pragma once
+
+#include <cstring>
+#include <string>
+
+#include "common/table.h"
+#include "core/campaign.h"
+#include "iogen/job.h"
+
+namespace pas::bench {
+
+inline core::ExperimentOptions parse_options(int argc, char** argv) {
+  core::ExperimentOptions o;
+  o.io_limit_scale = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) o.io_limit_scale = 1.0;
+    if (std::strcmp(argv[i], "--quick") == 0) o.io_limit_scale = 0.0625;
+  }
+  return o;
+}
+
+inline iogen::JobSpec job(iogen::Pattern p, iogen::OpKind op, std::uint32_t bs, int qd) {
+  iogen::JobSpec s;
+  s.pattern = p;
+  s.op = op;
+  s.block_bytes = bs;
+  s.iodepth = qd;
+  return s;
+}
+
+inline std::string kib_label(std::uint32_t bytes) {
+  return std::to_string(bytes / 1024) + "KiB";
+}
+
+}  // namespace pas::bench

@@ -1,0 +1,61 @@
+// Power budget planner: builds a power-throughput model for a device by
+// running a measurement campaign (the paper's section 3.3 methodology), then
+// answers operator questions: "if the rack loses X% of its power budget,
+// which device configuration keeps the most throughput, and how much
+// best-effort load must be curtailed?"
+//
+// This reproduces the paper's worked example for SSD1 (Samsung PM9A3).
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/campaign.h"
+#include "devices/specs.h"
+#include "model/power_throughput.h"
+
+int main(int argc, char**) {
+  using namespace pas;
+  const bool quick = argc > 1;  // any argument = smaller cells
+
+  std::printf("measuring SSD1's random-write grid (6 chunk sizes x 6 queue depths)...\n");
+  core::ExperimentOptions options;
+  options.io_limit_scale = quick ? 0.0625 : 0.25;
+  const auto outputs = core::randwrite_grid(devices::DeviceId::kSsd1,
+                                            /*across_power_states=*/false, options);
+  const auto model = core::build_model("SSD1", outputs);
+
+  std::printf("model has %zu measured configurations\n", model.points().size());
+  std::printf("power range: %.2f - %.2f W (dynamic range %.1f%%)\n", model.min_power(),
+              model.max_power(), model.power_dynamic_range() * 100.0);
+
+  const auto& peak = model.max_throughput_point();
+  std::printf("\nnormal operation: %s -> %.2f GiB/s at %.2f W\n", peak.config_label().c_str(),
+              peak.throughput_mib_s / 1024.0, peak.avg_power_w);
+
+  print_banner("Pareto frontier (max throughput at each power level)");
+  Table t({"config", "power W", "MiB/s", "norm power", "norm tput"});
+  for (const auto& p : model.pareto_frontier()) {
+    t.add_row({p.config_label(), Table::fmt(p.avg_power_w, 2),
+               Table::fmt(p.throughput_mib_s, 0),
+               Table::fmt_pct(p.avg_power_w / model.max_power()),
+               Table::fmt_pct(p.throughput_mib_s / model.max_throughput())});
+  }
+  t.print();
+
+  print_banner("Operator queries: power reduction events");
+  Table q({"power cut", "budget W", "chosen config", "MiB/s kept", "curtail GiB/s"});
+  for (const double cut : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    const Watts budget = peak.avg_power_w * (1.0 - cut);
+    const auto best = model.best_under_power(budget);
+    if (!best.has_value()) {
+      q.add_row({Table::fmt_pct(cut, 0), Table::fmt(budget, 2), "(infeasible)", "-", "-"});
+      continue;
+    }
+    q.add_row({Table::fmt_pct(cut, 0), Table::fmt(budget, 2), best->config_label(),
+               Table::fmt(best->throughput_mib_s, 0),
+               Table::fmt((peak.throughput_mib_s - best->throughput_mib_s) / 1024.0, 2)});
+  }
+  q.print();
+  std::printf("\nPaper (section 3.3): a 20%% power reduction on SSD1 maps to qd1 at 256 KiB,\n"
+              "a ~40%% throughput reduction, curtailing ~1.3 GiB/s of best-effort load.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: simulate one fio-style experiment on a calibrated device with
+// the power measurement rig attached — the minimal end-to-end use of the
+// library's public API.
+//
+//   1. Create a simulator and a device (Intel D7-P5510, the paper's SSD2).
+//   2. Attach the measurement rig (shunt + amplifier + 24-bit ADC at 1 kHz).
+//   3. Cap the device to power state 1 (12 W) through the NVMe admin path.
+//   4. Run a random-write job (fio: randwrite bs=256k iodepth=32).
+//   5. Report throughput, latency, and measured power.
+#include <cstdio>
+
+#include "devices/specs.h"
+#include "devmgmt/admin.h"
+#include "iogen/engine.h"
+#include "power/rig.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace pas;
+
+  // 1. Simulator + device.
+  sim::Simulator sim;
+  devices::DeviceHandle ssd = devices::make_handle(devices::DeviceId::kSsd2, sim, /*seed=*/42);
+  std::printf("device: %s (%.1f GiB simulated), idle power %.2f W\n",
+              ssd.device->name().c_str(),
+              static_cast<double>(ssd.device->capacity_bytes()) / static_cast<double>(GiB),
+              ssd.device->instantaneous_power());
+
+  // 2. Measurement rig on the 12 V rail.
+  power::MeasurementRig rig(sim, *ssd.device, devices::rig_for(devices::DeviceId::kSsd2),
+                            /*noise_seed=*/7);
+  rig.start();
+
+  // 3. Power-cap the drive like `nvme set-feature /dev/nvme0 -f 2 -v 1`.
+  devmgmt::NvmeAdmin admin(*ssd.pm);
+  for (const auto& ps : admin.identify_power_states()) {
+    std::printf("  ps%d: max power %.0f W\n", ps.index, ps.max_power_w);
+  }
+  admin.set_power_state(1);
+
+  // 4. fio-style job: randwrite, bs=256k, iodepth=32, size=1g.
+  iogen::JobSpec job;
+  job.pattern = iogen::Pattern::kRandom;
+  job.op = iogen::OpKind::kWrite;
+  job.block_bytes = 256 * KiB;
+  job.iodepth = 32;
+  job.io_limit_bytes = 1 * GiB;
+  const iogen::JobResult result = iogen::run_job(sim, *ssd.device, job);
+  rig.stop();
+
+  // 5. Report, fio-style.
+  std::printf("\n%s under ps1 (12 W cap):\n", job.label().c_str());
+  std::printf("  throughput: %.0f MiB/s (%.0f IOPS) over %.2f s\n", result.throughput_mib_s(),
+              result.iops(), to_seconds(result.elapsed));
+  std::printf("  latency:    avg %.0f us, p50 %.0f us, p99 %.0f us\n", result.avg_latency_us(),
+              result.latency.p50_ns() / 1e3, result.p99_latency_us());
+  const auto& trace = rig.trace();
+  std::printf("  power:      mean %.2f W, min %.2f W, max %.2f W (%zu samples at 1 kHz)\n",
+              trace.mean_power(), trace.min_power(), trace.max_power(), trace.size());
+  std::printf("  10s-window max average: %.2f W (cap: 12 W)\n",
+              trace.max_window_average(seconds(10)));
+  std::printf("  energy:     %.1f J measured vs %.1f J ground truth\n", trace.energy(),
+              ssd.device->consumed_energy());
+  return 0;
+}

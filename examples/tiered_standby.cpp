@@ -1,0 +1,151 @@
+// Tiered write-absorb (paper section 4): "in tiered storage, the longer
+// standby/spin-up latencies of HDDs may be masked by temporarily absorbing
+// writes with SSDs."
+//
+// A cold-data tier (HDD) receives a trickle of writes. Two policies:
+//   A) always-on:   the HDD spins 24/7 and takes writes directly;
+//   B) write-absorb: the HDD stays in standby; an SSD absorbs writes, and
+//      once enough data accumulates the HDD spins up, takes the batch
+//      (destage), and goes back to standby.
+// The comparison shows the paper's point: with absorption, clients never see
+// a spin-up in their write path, and the HDD spends most of the hour at
+// 1.05 W instead of 3.76 W.
+#include <cstdio>
+#include <deque>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "devices/specs.h"
+#include "devmgmt/admin.h"
+#include "sim/simulator.h"
+
+namespace pas {
+namespace {
+
+constexpr TimeNs kRunTime = seconds(600);      // 10 simulated minutes
+constexpr TimeNs kWriteInterval = seconds(2);  // one 1 MiB write every 2 s
+constexpr std::uint32_t kWriteBytes = 1 * MiB;
+constexpr std::uint64_t kAbsorbThreshold = 64 * MiB;  // destage batch
+
+struct PolicyResult {
+  LatencyHistogram write_latency;
+  Joules hdd_energy = 0.0;
+  Joules ssd_energy = 0.0;
+  int spin_ups = 0;
+};
+
+// Policy A: HDD always spinning, writes go straight to it.
+PolicyResult run_always_on() {
+  sim::Simulator sim;
+  auto hdd = devices::make_hdd(sim);
+  PolicyResult out;
+  std::uint64_t offset = 0;
+  sim::PeriodicTask writer(sim, kWriteInterval, [&] {
+    hdd->submit(sim::IoRequest{sim::IoOp::kWrite, offset, kWriteBytes},
+                [&](const sim::IoCompletion& c) { out.write_latency.add(c.latency()); });
+    offset = (offset + kWriteBytes) % (hdd->capacity_bytes() / 2);
+  });
+  writer.start();
+  sim.run_until(kRunTime);
+  writer.stop();
+  sim.run_to_completion();
+  out.hdd_energy = hdd->consumed_energy();
+  out.spin_ups = static_cast<int>(hdd->stats().spin_ups);
+  return out;
+}
+
+// Policy B: HDD parked in standby; an SSD absorbs writes and destages in
+// batches.
+PolicyResult run_write_absorb() {
+  sim::Simulator sim;
+  auto hdd = devices::make_hdd(sim);
+  auto ssd = devices::make_ssd(devices::DeviceId::kSsd3, sim, 7);  // small SATA SSD
+  devmgmt::SataAlpm hdd_pm(*hdd);
+  hdd_pm.standby_immediate();
+
+  PolicyResult out;
+  std::uint64_t ssd_cursor = 0;
+  std::uint64_t hdd_cursor = 0;
+  std::deque<std::pair<std::uint64_t, std::uint32_t>> absorbed;  // ssd extents
+  std::uint64_t absorbed_bytes = 0;
+  bool destaging = false;
+
+  // Destage: spin the HDD up, stream the absorbed extents (read from SSD,
+  // write to HDD), then put it back in standby.
+  std::function<void()> destage_next = [&] {
+    if (absorbed.empty()) {
+      hdd_pm.standby_immediate();
+      destaging = false;
+      return;
+    }
+    const auto [ssd_off, bytes] = absorbed.front();
+    absorbed.pop_front();
+    absorbed_bytes -= bytes;
+    ssd->submit(sim::IoRequest{sim::IoOp::kRead, ssd_off, bytes},
+                [&, bytes = bytes](const sim::IoCompletion&) {
+      hdd->submit(sim::IoRequest{sim::IoOp::kWrite, hdd_cursor, bytes},
+                  [&](const sim::IoCompletion&) { destage_next(); });
+      hdd_cursor = (hdd_cursor + bytes) % (hdd->capacity_bytes() / 2);
+    });
+  };
+
+  sim::PeriodicTask writer(sim, kWriteInterval, [&] {
+    // Client write: absorbed by the SSD; the HDD's standby latency never
+    // appears in the client's path.
+    const std::uint64_t off = ssd_cursor;
+    ssd_cursor = (ssd_cursor + kWriteBytes) % ssd->capacity_bytes();
+    ssd->submit(sim::IoRequest{sim::IoOp::kWrite, off, kWriteBytes},
+                [&](const sim::IoCompletion& c) { out.write_latency.add(c.latency()); });
+    absorbed.push_back({off, kWriteBytes});
+    absorbed_bytes += kWriteBytes;
+    if (absorbed_bytes >= kAbsorbThreshold && !destaging) {
+      destaging = true;
+      destage_next();  // first HDD IO pays the spin-up, in the background
+    }
+  });
+  writer.start();
+  sim.run_until(kRunTime);
+  writer.stop();
+  // Final drain.
+  if (!destaging && !absorbed.empty()) {
+    destaging = true;
+    destage_next();
+  }
+  sim.run_to_completion();
+  out.hdd_energy = hdd->consumed_energy();
+  out.ssd_energy = ssd->consumed_energy();
+  out.spin_ups = static_cast<int>(hdd->stats().spin_ups);
+  return out;
+}
+
+}  // namespace
+}  // namespace pas
+
+int main() {
+  using namespace pas;
+  std::printf("cold-tier workload: 1 MiB write every 2 s for 10 minutes\n");
+  const auto a = run_always_on();
+  const auto b = run_write_absorb();
+
+  print_banner("Tiered write-absorb vs always-spinning HDD");
+  Table t({"policy", "avg write", "p99 write", "max write", "HDD J", "SSD J", "total J",
+           "spin-ups"});
+  auto fmt_us = [](double ns) { return Table::fmt(ns / 1e3, 0) + " us"; };
+  t.add_row({"A: HDD always on", fmt_us(a.write_latency.mean_ns()),
+             fmt_us(static_cast<double>(a.write_latency.p99_ns())),
+             fmt_us(static_cast<double>(a.write_latency.max_ns())),
+             Table::fmt(a.hdd_energy, 0), "-", Table::fmt(a.hdd_energy, 0),
+             Table::fmt_int(a.spin_ups)});
+  t.add_row({"B: standby + SSD absorb", fmt_us(b.write_latency.mean_ns()),
+             fmt_us(static_cast<double>(b.write_latency.p99_ns())),
+             fmt_us(static_cast<double>(b.write_latency.max_ns())),
+             Table::fmt(b.hdd_energy, 0), Table::fmt(b.ssd_energy, 0),
+             Table::fmt(b.hdd_energy + b.ssd_energy, 0), Table::fmt_int(b.spin_ups)});
+  t.print();
+  std::printf("\nThe absorb policy keeps client write latency flat (no multi-second\n"
+              "spin-up ever appears in the write path — destage spin-ups happen in the\n"
+              "background) while the HDD idles at 1.05 W instead of 3.76 W between\n"
+              "batches, cutting tier energy — the section 4 masking argument.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Lightweight invariant checking for the pas library.
+//
+// PAS_CHECK is always on (simulation correctness beats the tiny cost of a
+// predictable branch); PAS_DCHECK compiles out in NDEBUG builds and is meant
+// for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pas::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "PAS_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace pas::detail
+
+#define PAS_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::pas::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define PAS_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) ::pas::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define PAS_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define PAS_DCHECK(expr) PAS_CHECK(expr)
+#endif

@@ -1,0 +1,116 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace pas {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  PAS_CHECK(hi > lo);
+  PAS_CHECK(bins > 0);
+}
+
+void LinearHistogram::add(double x) {
+  std::size_t idx = 0;
+  if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else if (x > lo_) {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double LinearHistogram::bin_center(std::size_t i) const {
+  PAS_CHECK(i < counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+std::uint64_t LinearHistogram::max_bin_count() const {
+  std::uint64_t m = 0;
+  for (auto c : counts_) m = std::max(m, c);
+  return m;
+}
+
+LatencyHistogram::LatencyHistogram() {
+  // 64 octaves max, but latencies cap well below; size generously.
+  counts_.assign(64 * kSubBuckets, 0);
+}
+
+std::size_t LatencyHistogram::bucket_index(std::int64_t v) {
+  if (v < 0) v = 0;
+  const auto u = static_cast<std::uint64_t>(v);
+  if (u < kSubBuckets) return static_cast<std::size_t>(u);
+  const int msb = 63 - std::countl_zero(u);
+  const int shift = msb - kSubBucketBits;
+  const auto sub = static_cast<std::size_t>((u >> shift) & (kSubBuckets - 1));
+  return static_cast<std::size_t>(msb - kSubBucketBits + 1) * kSubBuckets + sub;
+}
+
+std::int64_t LatencyHistogram::bucket_midpoint(std::size_t idx) {
+  if (idx < kSubBuckets) return static_cast<std::int64_t>(idx);
+  const std::size_t octave = idx / kSubBuckets;  // >= 1
+  const std::size_t sub = idx % kSubBuckets;
+  const int shift = static_cast<int>(octave) - 1;
+  const std::uint64_t base = (static_cast<std::uint64_t>(kSubBuckets) + sub) << shift;
+  const std::uint64_t width = 1ULL << shift;
+  return static_cast<std::int64_t>(base + width / 2);
+}
+
+void LatencyHistogram::add(std::int64_t latency_ns) {
+  if (latency_ns < 0) latency_ns = 0;
+  const std::size_t idx = bucket_index(latency_ns);
+  PAS_CHECK(idx < counts_.size());
+  ++counts_[idx];
+  if (total_ == 0) {
+    min_ns_ = latency_ns;
+    max_ns_ = latency_ns;
+  } else {
+    min_ns_ = std::min(min_ns_, latency_ns);
+    max_ns_ = std::max(max_ns_, latency_ns);
+  }
+  ++total_;
+  sum_ns_ += static_cast<double>(latency_ns);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.total_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (total_ == 0) {
+    min_ns_ = other.min_ns_;
+    max_ns_ = other.max_ns_;
+  } else {
+    min_ns_ = std::min(min_ns_, other.min_ns_);
+    max_ns_ = std::max(max_ns_, other.max_ns_);
+  }
+  total_ += other.total_;
+  sum_ns_ += other.sum_ns_;
+}
+
+double LatencyHistogram::mean_ns() const {
+  return total_ == 0 ? 0.0 : sum_ns_ / static_cast<double>(total_);
+}
+
+std::int64_t LatencyHistogram::min_ns() const { return total_ == 0 ? 0 : min_ns_; }
+
+std::int64_t LatencyHistogram::max_ns() const { return total_ == 0 ? 0 : max_ns_; }
+
+std::int64_t LatencyHistogram::quantile_ns(double q) const {
+  PAS_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1)) + 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= target) {
+      return std::clamp(bucket_midpoint(i), min_ns_, max_ns_);
+    }
+  }
+  return max_ns_;
+}
+
+}  // namespace pas

@@ -1,0 +1,70 @@
+// Histograms: a linear-bin histogram for power distributions (violin plots)
+// and a log-bucketed latency histogram (HDR-style) for per-IO latencies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pas {
+
+// Fixed-range linear histogram. Values outside [lo, hi) land in saturating
+// edge bins so no sample is lost.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t count_in_bin(std::size_t i) const { return counts_[i]; }
+  std::uint64_t total() const { return total_; }
+  double bin_center(std::size_t i) const;
+  // Largest single-bin count; 0 when empty. Used to scale ASCII violins.
+  std::uint64_t max_bin_count() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Log-bucketed latency histogram with bounded relative error (~2.5%),
+// covering 1ns .. ~300s. Cheap add(); quantiles without retaining samples.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void add(std::int64_t latency_ns);
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  double mean_ns() const;
+  std::int64_t min_ns() const;
+  std::int64_t max_ns() const;
+  // Quantile in nanoseconds (bucket midpoint), q in [0,1].
+  std::int64_t quantile_ns(double q) const;
+  std::int64_t p50_ns() const { return quantile_ns(0.50); }
+  std::int64_t p99_ns() const { return quantile_ns(0.99); }
+  std::int64_t p999_ns() const { return quantile_ns(0.999); }
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static std::size_t bucket_index(std::int64_t v);
+  static std::int64_t bucket_midpoint(std::size_t idx);
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ns_ = 0.0;
+  std::int64_t min_ns_ = 0;
+  std::int64_t max_ns_ = 0;
+};
+
+}  // namespace pas

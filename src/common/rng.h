@@ -1,0 +1,50 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the simulator (workload offsets, ADC noise,
+// media timing variation) owns its own Rng seeded from a parent, so a whole
+// measurement campaign replays identically for a given master seed. The
+// generator is xoshiro256** (public domain, Blackman & Vigna) seeded through
+// splitmix64 — small, fast, and independent of libstdc++'s unspecified
+// distribution implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace pas {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  // Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Uniform integer in [0, bound) using Lemire's unbiased method.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi);
+
+  // Standard normal via Marsaglia polar method (cached second value).
+  double next_gaussian();
+
+  // Gaussian with the given mean and standard deviation.
+  double next_gaussian(double mean, double stddev) {
+    return mean + stddev * next_gaussian();
+  }
+
+  // Derive an independent child generator (for per-component streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4] = {};
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace pas

@@ -1,0 +1,122 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pas {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double m2 = 0.0;
+  for (double x : samples_) m2 += (x - m) * (x - m);
+  return std::sqrt(m2 / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  PAS_CHECK(!samples_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double SampleSet::max() const {
+  PAS_CHECK(!samples_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double SampleSet::quantile(double q) const {
+  PAS_CHECK(!samples_.empty());
+  PAS_CHECK(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  if (idx + 1 >= sorted_.size()) return sorted_.back();
+  const double frac = pos - static_cast<double>(idx);
+  return sorted_[idx] * (1.0 - frac) + sorted_[idx + 1] * frac;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+DistributionSummary summarize(const SampleSet& s) {
+  DistributionSummary d;
+  d.count = s.count();
+  if (s.empty()) return d;
+  d.mean = s.mean();
+  d.stddev = s.stddev();
+  d.min = s.min();
+  d.p5 = s.quantile(0.05);
+  d.p25 = s.quantile(0.25);
+  d.median = s.median();
+  d.p75 = s.quantile(0.75);
+  d.p95 = s.quantile(0.95);
+  d.max = s.max();
+  return d;
+}
+
+}  // namespace pas

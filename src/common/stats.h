@@ -1,0 +1,79 @@
+// Summary statistics used by the measurement pipeline and experiment reports.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pas {
+
+// Streaming mean/variance/min/max (Welford). O(1) space; used where the full
+// sample set is too large or unneeded.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exact order statistics over a retained sample vector. Suitable for the
+// volumes this library produces (<= a few million samples per experiment).
+class SampleSet {
+ public:
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  // Linear-interpolated quantile, q in [0, 1]. q=0.5 is the median.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Five-number-plus summary of a distribution, as printed for the paper's
+// violin plot (Figure 2b).
+struct DistributionSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p5 = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+DistributionSummary summarize(const SampleSet& s);
+
+}  // namespace pas

@@ -1,0 +1,44 @@
+// Fixed-width console tables and CSV output for benchmark harnesses.
+//
+// Every bench binary reproduces a table or figure from the paper by printing
+// rows through this printer, so output formatting is uniform across the repo.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pas {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; the row must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+  // "12.3%" style.
+  static std::string fmt_pct(double fraction, int precision = 1);
+
+  std::string to_string() const;
+  std::string to_csv() const;
+  void print() const;  // to stdout
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner used by bench binaries: "==== Figure 4a: ... ====".
+void print_banner(const std::string& title);
+
+// One-line ASCII bar for inline "figures": value rendered against vmax as a
+// bar of up to `width` characters.
+std::string ascii_bar(double value, double vmax, int width = 40);
+
+}  // namespace pas

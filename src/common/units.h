@@ -1,0 +1,45 @@
+// Units used throughout the library.
+//
+// Simulated time is an integer count of nanoseconds (TimeNs) so that event
+// ordering is exact and runs are bit-for-bit reproducible. Power is in watts
+// and energy in joules (doubles): power values come from calibrated models,
+// not counters, so floating point is the natural representation.
+#pragma once
+
+#include <cstdint>
+
+namespace pas {
+
+using TimeNs = std::int64_t;
+
+constexpr TimeNs kNsPerUs = 1'000;
+constexpr TimeNs kNsPerMs = 1'000'000;
+constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+constexpr TimeNs nanoseconds(std::int64_t n) { return n; }
+constexpr TimeNs microseconds(double us) { return static_cast<TimeNs>(us * 1e3); }
+constexpr TimeNs milliseconds(double ms) { return static_cast<TimeNs>(ms * 1e6); }
+constexpr TimeNs seconds(double s) { return static_cast<TimeNs>(s * 1e9); }
+
+constexpr double to_seconds(TimeNs t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_milliseconds(TimeNs t) { return static_cast<double>(t) * 1e-6; }
+constexpr double to_microseconds(TimeNs t) { return static_cast<double>(t) * 1e-3; }
+
+constexpr std::uint64_t KiB = 1024ULL;
+constexpr std::uint64_t MiB = 1024ULL * KiB;
+constexpr std::uint64_t GiB = 1024ULL * MiB;
+constexpr std::uint64_t TiB = 1024ULL * GiB;
+
+// Bandwidth helpers. Throughput is reported in MiB/s to match the paper's
+// figures (fio convention).
+constexpr double to_mib(std::uint64_t bytes) { return static_cast<double>(bytes) / static_cast<double>(MiB); }
+
+inline double mib_per_sec(std::uint64_t bytes, TimeNs elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return to_mib(bytes) / to_seconds(elapsed);
+}
+
+using Watts = double;
+using Joules = double;
+
+}  // namespace pas

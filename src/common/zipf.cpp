@@ -1,0 +1,46 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pas {
+
+double ZipfGenerator::zeta(std::uint64_t n, double theta) {
+  // Exact for small n; Euler-Maclaurin tail approximation keeps construction
+  // O(1)-ish for the multi-million-item ranges the IO generator uses.
+  constexpr std::uint64_t kExact = 10000;
+  double sum = 0.0;
+  const std::uint64_t exact = n < kExact ? n : kExact;
+  for (std::uint64_t i = 1; i <= exact; ++i) sum += std::pow(static_cast<double>(i), -theta);
+  if (n > exact) {
+    const double a = static_cast<double>(exact);
+    const double b = static_cast<double>(n);
+    // integral of x^-theta from a to b plus endpoint correction
+    sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) / (1.0 - theta) +
+           0.5 * (std::pow(b, -theta) - std::pow(a, -theta));
+  }
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  PAS_CHECK(n_ >= 1);
+  PAS_CHECK(theta_ > 0.0 && theta_ < 1.0);
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = zeta(n_, theta_);
+  zeta2_ = zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t ZipfGenerator::next(Rng& rng) {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+}  // namespace pas

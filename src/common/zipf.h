@@ -1,0 +1,36 @@
+// Zipfian integer generator (YCSB-style, Gray et al.'s rejection-free
+// method): ranks follow P(k) ~ 1/k^theta over [0, n). Used by the IO
+// generator's skewed offset distribution — data-center storage workloads are
+// rarely uniform, and skew concentrates invalidation (hot blocks die fast),
+// which matters for GC and power behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace pas {
+
+class ZipfGenerator {
+ public:
+  // theta in (0, 1); 0.99 is the YCSB default ("zipfian constant").
+  ZipfGenerator(std::uint64_t n, double theta = 0.99);
+
+  // Returns a rank in [0, n); rank 0 is the hottest item.
+  std::uint64_t next(Rng& rng);
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace pas

@@ -1,0 +1,105 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "devmgmt/admin.h"
+#include "sim/simulator.h"
+
+namespace pas::core {
+
+const std::vector<std::uint32_t>& chunk_sizes() {
+  static const std::vector<std::uint32_t> kSizes = {
+      4 * 1024,    16 * 1024,   64 * 1024,
+      256 * 1024,  1024 * 1024, 2048 * 1024};
+  return kSizes;
+}
+
+const std::vector<int>& queue_depths() {
+  static const std::vector<int> kDepths = {1, 4, 16, 32, 64, 128};
+  return kDepths;
+}
+
+ExperimentOutput run_cell(devices::DeviceId id, int power_state, const iogen::JobSpec& spec,
+                          const ExperimentOptions& options) {
+  sim::Simulator sim;
+  devices::DeviceHandle handle = devices::make_handle(id, sim, options.seed);
+
+  devmgmt::NvmeAdmin admin(*handle.pm);
+  if (power_state != 0) {
+    PAS_CHECK_MSG(admin.set_power_state(power_state) == devmgmt::AdminStatus::kSuccess,
+                  "device rejected the power state");
+  }
+
+  iogen::JobSpec job = spec;
+  if (options.io_limit_scale != 1.0) {
+    job.io_limit_bytes = std::max<std::uint64_t>(
+        64 * MiB,
+        static_cast<std::uint64_t>(static_cast<double>(job.io_limit_bytes) *
+                                   options.io_limit_scale));
+  }
+
+  power::MeasurementRig rig(sim, *handle.device, devices::rig_for(id),
+                            options.seed ^ 0x9E3779B97F4A7C15ULL);
+  rig.start();
+
+  const iogen::JobResult result = iogen::run_job(sim, *handle.device, job);
+  rig.stop();
+
+  ExperimentOutput out;
+  out.job = result;
+  const power::PowerTrace& trace = rig.trace();
+  PAS_CHECK_MSG(!trace.empty(), "job finished before the first power sample");
+  out.min_power_w = trace.min_power();
+  out.max_power_w = trace.max_power();
+  out.max_window10s_w = trace.max_window_average(seconds(10));
+
+  out.point.device = devices::label(id);
+  out.point.power_state = power_state;
+  out.point.chunk_bytes = job.block_bytes;
+  out.point.queue_depth = job.iodepth;
+  out.point.workload = std::string(iogen::to_string(job.pattern)) + iogen::to_string(job.op);
+  out.point.avg_power_w = trace.mean_power();
+  out.point.throughput_mib_s = result.throughput_mib_s();
+  out.point.avg_latency_us = result.avg_latency_us();
+  out.point.p99_latency_us = result.p99_latency_us();
+
+  if (options.keep_trace) out.trace = rig.take_trace();
+  return out;
+}
+
+std::vector<ExperimentOutput> randwrite_grid(devices::DeviceId id, bool across_power_states,
+                                             const ExperimentOptions& options) {
+  int states = 1;
+  if (across_power_states) {
+    sim::Simulator probe_sim;
+    const auto handle = devices::make_handle(id, probe_sim, 1);
+    states = handle.pm->power_state_count();
+  }
+  std::vector<ExperimentOutput> outputs;
+  for (int ps = 0; ps < states; ++ps) {
+    for (const std::uint32_t chunk : chunk_sizes()) {
+      for (const int qd : queue_depths()) {
+        iogen::JobSpec spec;
+        spec.pattern = iogen::Pattern::kRandom;
+        spec.op = iogen::OpKind::kWrite;
+        spec.block_bytes = chunk;
+        spec.iodepth = qd;
+        spec.seed = options.seed + static_cast<std::uint64_t>(ps) * 1000 + chunk +
+                    static_cast<std::uint64_t>(qd);
+        outputs.push_back(run_cell(id, ps, spec, options));
+      }
+    }
+  }
+  return outputs;
+}
+
+model::PowerThroughputModel build_model(const char* device_label,
+                                        const std::vector<ExperimentOutput>& outputs) {
+  std::vector<model::ExperimentPoint> points;
+  points.reserve(outputs.size());
+  for (const auto& o : outputs) points.push_back(o.point);
+  return model::PowerThroughputModel(device_label, std::move(points));
+}
+
+}  // namespace pas::core

@@ -1,0 +1,59 @@
+// The measurement study itself (paper section 3): runs workload cells
+// against a device with the power rig attached and reduces each cell to an
+// ExperimentPoint; sweeps reproduce the paper's grids.
+//
+// Every cell runs on its own simulator with its own freshly constructed
+// device, so cells are independent and reproducible in isolation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "devices/specs.h"
+#include "iogen/engine.h"
+#include "iogen/job.h"
+#include "model/power_throughput.h"
+#include "power/rig.h"
+#include "power/trace.h"
+
+namespace pas::core {
+
+struct ExperimentOptions {
+  std::uint64_t seed = 1;
+  bool keep_trace = false;     // retain the full 1 kHz power trace
+  // Scales the job's byte budget (and, for time-limited cells, nothing
+  // else). 1.0 reproduces the paper's 4 GiB / 60 s cells; smaller values
+  // trade tail precision for simulation speed in the wide sweeps.
+  double io_limit_scale = 1.0;
+};
+
+struct ExperimentOutput {
+  model::ExperimentPoint point;
+  iogen::JobResult job;
+  Watts min_power_w = 0.0;
+  Watts max_power_w = 0.0;
+  Watts max_window10s_w = 0.0;  // for validating NVMe cap compliance
+  power::PowerTrace trace;      // non-empty when keep_trace
+};
+
+// Runs one cell: fresh simulator + device, power state set through the NVMe
+// admin path, rig sampling at 1 kHz, the job to completion.
+ExperimentOutput run_cell(devices::DeviceId id, int power_state, const iogen::JobSpec& spec,
+                          const ExperimentOptions& options = {});
+
+// The paper's sweep axes (section 3: "6 different chunk sizes from 4 KiB to
+// 2 MiB" and "6 different IO depths from 1 up to 128").
+const std::vector<std::uint32_t>& chunk_sizes();
+const std::vector<int>& queue_depths();
+
+// The full random-write grid for one device: every chunk size x queue depth
+// (x power state when `across_power_states`). This is the input to the
+// Figure 10 power-throughput model.
+std::vector<ExperimentOutput> randwrite_grid(devices::DeviceId id, bool across_power_states,
+                                             const ExperimentOptions& options = {});
+
+// Builds the section 3.3 model from grid outputs.
+model::PowerThroughputModel build_model(const char* device_label,
+                                        const std::vector<ExperimentOutput>& outputs);
+
+}  // namespace pas::core

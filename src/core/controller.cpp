@@ -1,0 +1,129 @@
+#include "core/controller.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pas::core {
+namespace {
+
+model::FleetPlanner build_planner(const std::vector<ManagedDevice>& fleet) {
+  std::vector<model::FleetDevice> devices;
+  devices.reserve(fleet.size());
+  for (const auto& d : fleet) {
+    PAS_CHECK(d.device != nullptr && d.pm != nullptr);
+    PAS_CHECK_MSG(!d.options.empty(), "managed device needs measured options");
+    model::FleetDevice fd;
+    fd.name = d.name;
+    fd.options = d.options;
+    if (d.supports_standby) fd.options.push_back(model::standby_option(d.standby_power_w));
+    devices.push_back(std::move(fd));
+  }
+  return model::FleetPlanner(std::move(devices));
+}
+
+}  // namespace
+
+PowerAdaptiveController::PowerAdaptiveController(std::vector<ManagedDevice> fleet)
+    : fleet_(std::move(fleet)), planner_(build_planner(fleet_)) {}
+
+std::optional<std::vector<AppliedConfig>> PowerAdaptiveController::set_power_budget(
+    Watts budget_w) {
+  auto assignment = planner_.best_under_power(budget_w);
+  if (!assignment.has_value()) return std::nullopt;
+  apply(*assignment);
+  return plan_;
+}
+
+void PowerAdaptiveController::apply(const model::FleetAssignment& assignment) {
+  PAS_CHECK(assignment.per_device.size() == fleet_.size());
+  plan_.clear();
+  active_.clear();
+  write_targets_.clear();
+  planned_power_ = assignment.total_power_w;
+  planned_throughput_ = assignment.total_throughput_mib_s;
+
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    const auto& chosen = assignment.per_device[i].chosen;
+    ManagedDevice& dev = fleet_[i];
+    AppliedConfig cfg;
+    cfg.device = dev.name;
+    cfg.planned_power_w = chosen.avg_power_w;
+    cfg.planned_throughput_mib_s = chosen.throughput_mib_s;
+    if (chosen.workload == "standby") {
+      cfg.standby = true;
+      devmgmt::SataAlpm alpm(*dev.pm);
+      if (dev.pm->supports_standby()) {
+        alpm.standby_immediate();
+      } else if (dev.pm->supports_alpm()) {
+        alpm.set_link_pm(sim::LinkPmState::kSlumber);
+      }
+    } else {
+      cfg.power_state = chosen.power_state;
+      cfg.chunk_bytes = chosen.chunk_bytes;
+      cfg.queue_depth = chosen.queue_depth;
+      // Wake the device if a previous plan parked it.
+      if (dev.pm->supports_standby() &&
+          dev.pm->ata_power_mode() != sim::AtaPowerMode::kActiveIdle) {
+        dev.pm->spin_up();
+      }
+      if (dev.pm->supports_alpm() &&
+          dev.pm->link_pm_state() != sim::LinkPmState::kActive) {
+        dev.pm->set_link_pm(sim::LinkPmState::kActive);
+      }
+      devmgmt::NvmeAdmin admin(*dev.pm);
+      if (dev.pm->power_state_count() > 1) {
+        PAS_CHECK(admin.set_power_state(chosen.power_state) == devmgmt::AdminStatus::kSuccess);
+      }
+      active_.push_back(i);
+    }
+    plan_.push_back(std::move(cfg));
+  }
+  write_targets_ = active_;  // segregation off by default
+  read_rr_ = 0;
+  write_rr_ = 0;
+}
+
+Watts PowerAdaptiveController::measured_power() const {
+  Watts total = 0.0;
+  for (const auto& d : fleet_) total += d.device->instantaneous_power();
+  return total;
+}
+
+std::vector<sim::BlockDevice*> PowerAdaptiveController::active_devices() const {
+  std::vector<sim::BlockDevice*> out;
+  out.reserve(active_.size());
+  for (const std::size_t i : active_) out.push_back(fleet_[i].device);
+  return out;
+}
+
+sim::BlockDevice* PowerAdaptiveController::route_read() {
+  if (active_.empty()) return nullptr;
+  sim::BlockDevice* dev = fleet_[active_[read_rr_ % active_.size()]].device;
+  ++read_rr_;
+  return dev;
+}
+
+sim::BlockDevice* PowerAdaptiveController::route_write() {
+  if (write_targets_.empty()) return nullptr;
+  sim::BlockDevice* dev = fleet_[write_targets_[write_rr_ % write_targets_.size()]].device;
+  ++write_rr_;
+  return dev;
+}
+
+void PowerAdaptiveController::segregate_writes(int k) {
+  if (k <= 0 || static_cast<std::size_t>(k) >= active_.size()) {
+    write_targets_ = active_;
+    return;
+  }
+  // Keep the k active devices with the highest planned throughput.
+  std::vector<std::size_t> sorted = active_;
+  std::sort(sorted.begin(), sorted.end(), [this](std::size_t a, std::size_t b) {
+    return plan_[a].planned_throughput_mib_s > plan_[b].planned_throughput_mib_s;
+  });
+  sorted.resize(static_cast<std::size_t>(k));
+  write_targets_ = std::move(sorted);
+  write_rr_ = 0;
+}
+
+}  // namespace pas::core

@@ -1,0 +1,91 @@
+// Power-adaptive storage controller: the system design the paper's section 4
+// sketches, built on the measured power-throughput models.
+//
+// Given a fleet of live devices and their models, the controller reacts to a
+// power-budget change by (a) planning per-device configurations with the
+// fleet DP (power states + IO shaping + standby parking), (b) applying the
+// device-side knobs through the NVMe / SATA admin paths, and (c) updating the
+// IO redirection policy: reads go to active replicas, writes are segregated
+// onto a subset of devices when the budget is tight (asymmetric IO).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "devmgmt/admin.h"
+#include "model/fleet.h"
+#include "model/power_throughput.h"
+#include "sim/block_device.h"
+#include "sim/power_management.h"
+
+namespace pas::core {
+
+struct ManagedDevice {
+  std::string name;
+  sim::BlockDevice* device = nullptr;
+  sim::PowerManageable* pm = nullptr;
+  // Measured configuration options for this device (typically the Pareto
+  // frontier of its PowerThroughputModel).
+  std::vector<model::ExperimentPoint> options;
+  // Standby capability (HDD spin-down / SATA SLUMBER).
+  bool supports_standby = false;
+  Watts standby_power_w = 0.0;
+};
+
+// The plan applied to one device after a budget change.
+struct AppliedConfig {
+  std::string device;
+  bool standby = false;
+  int power_state = 0;
+  std::uint32_t chunk_bytes = 0;  // IO shaping advice to the host stack
+  int queue_depth = 0;
+  Watts planned_power_w = 0.0;
+  double planned_throughput_mib_s = 0.0;
+};
+
+class PowerAdaptiveController {
+ public:
+  explicit PowerAdaptiveController(std::vector<ManagedDevice> fleet);
+
+  // Plans and applies a fleet configuration for the budget. Returns the
+  // per-device plan, or nullopt when the budget is below the floor (even
+  // with every device parked) — the caller must shed the load elsewhere.
+  std::optional<std::vector<AppliedConfig>> set_power_budget(Watts budget_w);
+
+  // Planned aggregate power/throughput of the active configuration.
+  Watts planned_power() const { return planned_power_; }
+  double planned_throughput() const { return planned_throughput_; }
+  // Live ground-truth draw of the fleet right now.
+  Watts measured_power() const;
+
+  // --- IO redirection (section 4, "Power-aware IO redirection") ---
+  // Devices currently accepting IO (not parked in standby).
+  std::vector<sim::BlockDevice*> active_devices() const;
+  // Round-robin read target among active devices.
+  sim::BlockDevice* route_read();
+  // Write target: when segregation is active, writes land on the designated
+  // subset only (section 4, "Leveraging asymmetric IO").
+  sim::BlockDevice* route_write();
+  // Segregates writes onto the `k` active devices with the highest planned
+  // throughput; pass 0 to disable segregation.
+  void segregate_writes(int k);
+
+  const std::vector<AppliedConfig>& current_plan() const { return plan_; }
+
+ private:
+  void apply(const model::FleetAssignment& assignment);
+
+  std::vector<ManagedDevice> fleet_;
+  model::FleetPlanner planner_;
+  std::vector<AppliedConfig> plan_;
+  Watts planned_power_ = 0.0;
+  double planned_throughput_ = 0.0;
+  std::vector<std::size_t> active_;        // indices into fleet_
+  std::vector<std::size_t> write_targets_; // indices into fleet_
+  std::size_t read_rr_ = 0;
+  std::size_t write_rr_ = 0;
+};
+
+}  // namespace pas::core

@@ -1,0 +1,71 @@
+#include "core/domains.h"
+
+#include "common/check.h"
+
+namespace pas::core {
+
+PowerDomain::PowerDomain(std::string name, Watts breaker_limit_w)
+    : name_(std::move(name)), breaker_limit_w_(breaker_limit_w) {}
+
+PowerDomain* PowerDomain::add_subdomain(std::string name, Watts breaker_limit_w) {
+  children_.push_back(std::make_unique<PowerDomain>(std::move(name), breaker_limit_w));
+  return children_.back().get();
+}
+
+void PowerDomain::attach(sim::BlockDevice* device) {
+  PAS_CHECK(device != nullptr);
+  devices_.push_back(device);
+}
+
+Watts PowerDomain::draw() const {
+  if (tripped_) return 0.0;
+  Watts total = 0.0;
+  for (const auto* dev : devices_) total += dev->instantaneous_power();
+  for (const auto& child : children_) total += child->draw();
+  return total;
+}
+
+void PowerDomain::trip() { tripped_ = true; }
+
+void PowerDomain::reset() { tripped_ = false; }
+
+PowerDomain* PowerDomain::find_domain_of(const sim::BlockDevice* device) {
+  for (const auto* dev : devices_) {
+    if (dev == device) return this;
+  }
+  for (const auto& child : children_) {
+    if (PowerDomain* found = child->find_domain_of(device)) return found;
+  }
+  return nullptr;
+}
+
+BreakerMonitor::BreakerMonitor(sim::Simulator& sim, PowerDomain& domain, TimeNs poll_period,
+                               TimeNs overload_grace)
+    : sim_(sim),
+      domain_(domain),
+      overload_grace_(overload_grace),
+      task_(sim, poll_period, [this] { poll(); }) {
+  PAS_CHECK_MSG(domain_.breaker_limit() > 0.0, "monitored domain needs a breaker rating");
+}
+
+void BreakerMonitor::start() { task_.start(); }
+
+void BreakerMonitor::stop() { task_.stop(); }
+
+void BreakerMonitor::poll() {
+  if (domain_.tripped()) return;
+  const bool overloaded = domain_.draw() > domain_.breaker_limit();
+  if (!overloaded) {
+    overload_since_ = -1;
+    return;
+  }
+  if (overload_since_ < 0) overload_since_ = sim_.now();
+  if (sim_.now() - overload_since_ >= overload_grace_) {
+    domain_.trip();
+    ++trips_;
+    overload_since_ = -1;
+    if (on_trip_) on_trip_(domain_);
+  }
+}
+
+}  // namespace pas::core

@@ -1,0 +1,74 @@
+// Calibrated models of the paper's evaluated devices (Table 1):
+//
+//   SSD1  NVMe  Samsung PM9A3       measured 3.5 - 13.5 W
+//   SSD2  NVMe  Intel D7-P5510      measured 5   - 15.1 W, ps0/ps1/ps2
+//   SSD3  SATA  Intel D3-P4510      measured 1   - 3.5 W
+//   HDD   SATA  Seagate Exos 7E2000 measured 1   - 5.3 W
+//   (+ Samsung 860 EVO, the desktop SATA SSD used for the ALPM standby
+//    experiment in section 3.2.2 / Figure 7)
+//
+// Parameters are derived from the paper's reported ranges and ratios plus
+// public datasheet figures; DESIGN.md section 2 documents the calibration.
+// Simulated logical capacity is smaller than the marketed capacity (the FTL
+// map lives in host memory); all workloads address a 4 GiB region as the
+// paper's fio jobs do.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hdd/config.h"
+#include "hdd/device.h"
+#include "power/rig.h"
+#include "sim/simulator.h"
+#include "ssd/config.h"
+#include "ssd/device.h"
+
+namespace pas::devices {
+
+enum class DeviceId { kSsd1, kSsd2, kSsd3, kHdd, kEvo860 };
+
+inline constexpr DeviceId kPaperDevices[] = {DeviceId::kSsd1, DeviceId::kSsd2,
+                                             DeviceId::kSsd3, DeviceId::kHdd};
+
+const char* label(DeviceId id);       // "SSD1", "SSD2", ...
+const char* model_name(DeviceId id);  // "Samsung PM9A3", ...
+
+// Calibrated configurations.
+ssd::SsdConfig ssd1_pm9a3();
+ssd::SsdConfig ssd2_p5510();
+ssd::SsdConfig ssd3_p4510();
+ssd::SsdConfig evo860();
+hdd::HddConfig hdd_exos_7e2000();
+
+// The supply rail the paper's rig instruments for this device
+// (12 V for U.2 NVMe; 5 V for SATA).
+double rail_voltage(DeviceId id);
+
+// Measurement rig configured for the device's rail (1 kHz ADS1256 chain).
+power::RigConfig rig_for(DeviceId id);
+
+// Constructs a device instance on the simulator. SSDs are returned as
+// BlockDevice; use the PowerManageable side via dynamic dispatch or the
+// typed factories below.
+std::unique_ptr<sim::BlockDevice> make_device(DeviceId id, sim::Simulator& sim,
+                                              std::uint64_t seed);
+
+std::unique_ptr<ssd::SsdDevice> make_ssd(DeviceId id, sim::Simulator& sim, std::uint64_t seed);
+std::unique_ptr<hdd::HddDevice> make_hdd(sim::Simulator& sim);
+
+// A constructed device with both of its control surfaces (data path and
+// power management), as a host would see it through the block layer plus
+// nvme-cli / hdparm.
+struct DeviceHandle {
+  DeviceId id = DeviceId::kSsd1;
+  std::unique_ptr<sim::BlockDevice> device;
+  sim::PowerManageable* pm = nullptr;      // aliases `device`
+  ssd::SsdDevice* ssd = nullptr;           // non-null for SSDs
+  hdd::HddDevice* hdd = nullptr;           // non-null for the HDD
+};
+
+DeviceHandle make_handle(DeviceId id, sim::Simulator& sim, std::uint64_t seed);
+
+}  // namespace pas::devices

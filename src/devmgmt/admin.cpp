@@ -1,0 +1,42 @@
+#include "devmgmt/admin.h"
+
+namespace pas::devmgmt {
+
+const char* to_string(AdminStatus s) {
+  switch (s) {
+    case AdminStatus::kSuccess: return "success";
+    case AdminStatus::kInvalidField: return "invalid field";
+    case AdminStatus::kUnsupportedFeature: return "unsupported feature";
+  }
+  return "?";
+}
+
+std::vector<sim::PowerStateDesc> NvmeAdmin::identify_power_states() const {
+  return device_.power_state_table();
+}
+
+AdminStatus NvmeAdmin::set_power_state(int ps) {
+  if (ps < 0 || ps >= device_.power_state_count()) return AdminStatus::kInvalidField;
+  device_.set_power_state(ps);
+  return AdminStatus::kSuccess;
+}
+
+AdminStatus SataAlpm::set_link_pm(sim::LinkPmState s) {
+  if (!device_.supports_alpm()) return AdminStatus::kUnsupportedFeature;
+  device_.set_link_pm(s);
+  return AdminStatus::kSuccess;
+}
+
+AdminStatus SataAlpm::standby_immediate() {
+  if (!device_.supports_standby()) return AdminStatus::kUnsupportedFeature;
+  device_.standby_immediate();
+  return AdminStatus::kSuccess;
+}
+
+AdminStatus SataAlpm::spin_up() {
+  if (!device_.supports_standby()) return AdminStatus::kUnsupportedFeature;
+  device_.spin_up();
+  return AdminStatus::kSuccess;
+}
+
+}  // namespace pas::devmgmt

@@ -1,0 +1,68 @@
+// Host-side device management, mirroring the tools the paper uses:
+//
+//   NvmeAdmin — the NVMe admin command surface relevant to power control
+//   (Identify power-state descriptors; Get/Set Features, Feature ID 0x02
+//   "Power Management"), as driven by `nvme set-feature -f 2`.
+//
+//   SataAlpm — SATA link power management (the host-side ALPM policy that
+//   issues PARTIAL/SLUMBER transitions) and the ATA power commands
+//   (STANDBY IMMEDIATE, CHECK POWER MODE, spin-up), as driven by hdparm.
+//
+// Both wrap the sim::PowerManageable interface of a device and validate
+// against its capabilities, so callers get the same error surface a real
+// ioctl path would provide.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/power_management.h"
+
+namespace pas::devmgmt {
+
+enum class AdminStatus : std::uint8_t {
+  kSuccess,
+  kInvalidField,      // e.g. power state index out of range
+  kUnsupportedFeature
+};
+
+const char* to_string(AdminStatus s);
+
+class NvmeAdmin {
+ public:
+  explicit NvmeAdmin(sim::PowerManageable& device) : device_(device) {}
+
+  // Identify Controller, power-state descriptor table (NPSS + PSDs).
+  std::vector<sim::PowerStateDesc> identify_power_states() const;
+
+  // Set Features, FID 0x02: select an operational power state.
+  AdminStatus set_power_state(int ps);
+
+  // Get Features, FID 0x02: current power state.
+  int get_power_state() const { return device_.power_state(); }
+
+ private:
+  sim::PowerManageable& device_;
+};
+
+class SataAlpm {
+ public:
+  explicit SataAlpm(sim::PowerManageable& device) : device_(device) {}
+
+  // Host ALPM policy transition (min_power => SLUMBER).
+  AdminStatus set_link_pm(sim::LinkPmState s);
+  sim::LinkPmState link_pm() const { return device_.link_pm_state(); }
+
+  // ATA STANDBY IMMEDIATE (hdparm -y): spin down / enter deep standby.
+  AdminStatus standby_immediate();
+  // Explicit wake (hdparm --read-sector would do this implicitly).
+  AdminStatus spin_up();
+  // ATA CHECK POWER MODE (hdparm -C).
+  sim::AtaPowerMode check_power_mode() const { return device_.ata_power_mode(); }
+
+ private:
+  sim::PowerManageable& device_;
+};
+
+}  // namespace pas::devmgmt

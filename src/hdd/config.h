@@ -1,0 +1,56 @@
+// Hard disk drive configuration: geometry/zoning, mechanics, cache, power.
+// The calibrated Seagate Exos 7E2000 instance lives in src/devices/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace pas::hdd {
+
+struct HddConfig {
+  std::string name = "hdd";
+  std::uint64_t capacity_bytes = 2 * TiB;
+  std::uint32_t sector_bytes = 4096;
+
+  // Mechanics.
+  double rpm = 7200.0;
+  int zones = 16;               // zoned bit recording: outer tracks are faster
+  double outer_mib_s = 210.0;
+  double inner_mib_s = 105.0;
+  TimeNs seek_settle = microseconds(800);     // fixed arm settle component
+  TimeNs seek_full_extra = milliseconds(12.6);  // seek = settle + extra*sqrt(d)
+  TimeNs track_switch = microseconds(900);    // adjacent-track repositioning
+
+  // Volatile on-board cache (absorbs writes when write caching is on).
+  std::uint64_t cache_bytes = 128 * MiB;
+  bool write_cache_enabled = true;
+  // Destaging starts once writes pause for this long (letting overwrites
+  // coalesce in cache) or once this much dirty data accumulates.
+  TimeNs writeback_delay = milliseconds(10);
+  std::uint64_t writeback_pressure_bytes = 4 * MiB;
+
+  // Native command queueing: the drive reorders up to this many queued
+  // commands by shortest positioning time (SATA NCQ limit: 32).
+  bool ncq_enabled = true;
+  int ncq_depth = 32;
+
+  // SATA host link.
+  double link_mib_s = 530.0;
+  TimeNs t_cmd_overhead = microseconds(25);  // per-command controller time
+
+  // Power.
+  Watts p_electronics_w = 1.60;  // board + interface, while not in standby
+  Watts p_spindle_w = 2.16;      // platter rotation (idle = electronics+spindle)
+  Watts p_seek_w = 1.30;         // voice-coil actuator during seeks
+  Watts p_transfer_w = 0.25;     // head r/w channel during media transfer
+  Watts p_standby_w = 1.05;      // spun down, interface awake
+  Watts p_spinup_w = 5.30;       // average during spin-up
+  TimeNs spinup_time = seconds(8);
+  TimeNs spindown_time = seconds(1.5);
+
+  TimeNs rev_period() const { return seconds(60.0 / rpm); }
+};
+
+}  // namespace pas::hdd

@@ -1,0 +1,113 @@
+#include "iogen/engine.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace pas::iogen {
+
+IoEngine::IoEngine(sim::Simulator& sim, sim::BlockDevice& device, JobSpec spec)
+    : sim_(sim), device_(device), spec_(std::move(spec)), rng_(spec_.seed) {
+  PAS_CHECK(spec_.iodepth >= 1);
+  PAS_CHECK(spec_.block_bytes > 0);
+  PAS_CHECK(spec_.block_bytes % device_.sector_bytes() == 0);
+  PAS_CHECK(spec_.region_bytes >= spec_.block_bytes);
+  PAS_CHECK(spec_.region_offset % device_.sector_bytes() == 0);
+  PAS_CHECK_MSG(spec_.region_offset + spec_.region_bytes <= device_.capacity_bytes(),
+                "job region exceeds device capacity");
+  region_blocks_ = spec_.region_bytes / spec_.block_bytes;
+  PAS_CHECK(spec_.rw_mix_read_pct <= 100);
+  if (spec_.pattern == Pattern::kRandom && spec_.offset_dist == OffsetDist::kZipf) {
+    zipf_ = std::make_unique<ZipfGenerator>(region_blocks_, spec_.zipf_theta);
+  }
+}
+
+namespace {
+// Scrambles zipf ranks over the region so the hot set isn't one contiguous
+// run (YCSB's "scrambled zipfian").
+std::uint64_t scramble(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+void IoEngine::start(std::function<void()> on_done) {
+  PAS_CHECK(!started_);
+  started_ = true;
+  on_done_ = std::move(on_done);
+  start_time_ = sim_.now();
+  deadline_ = start_time_ + spec_.time_limit;
+  fill_pipe();
+}
+
+bool IoEngine::limits_reached() const {
+  return issued_bytes_ >= spec_.io_limit_bytes || sim_.now() >= deadline_;
+}
+
+std::uint64_t IoEngine::next_offset() {
+  std::uint64_t block = 0;
+  if (spec_.pattern == Pattern::kRandom) {
+    if (zipf_ != nullptr) {
+      block = scramble(zipf_->next(rng_)) % region_blocks_;
+    } else {
+      block = rng_.next_below(region_blocks_);
+    }
+  } else {
+    block = seq_cursor_;
+    seq_cursor_ = (seq_cursor_ + 1) % region_blocks_;
+  }
+  return spec_.region_offset + block * spec_.block_bytes;
+}
+
+sim::IoOp IoEngine::next_op() {
+  if (spec_.rw_mix_read_pct >= 0) {
+    return rng_.next_below(100) < static_cast<std::uint64_t>(spec_.rw_mix_read_pct)
+               ? sim::IoOp::kRead
+               : sim::IoOp::kWrite;
+  }
+  return spec_.op == OpKind::kRead ? sim::IoOp::kRead : sim::IoOp::kWrite;
+}
+
+void IoEngine::issue_one() {
+  sim::IoRequest req;
+  req.op = next_op();
+  req.offset = next_offset();
+  req.bytes = spec_.block_bytes;
+  issued_bytes_ += req.bytes;
+  ++in_flight_;
+  device_.submit(req, [this](const sim::IoCompletion& c) { on_complete(c); });
+}
+
+void IoEngine::fill_pipe() {
+  while (in_flight_ < spec_.iodepth && !limits_reached()) issue_one();
+}
+
+void IoEngine::on_complete(const sim::IoCompletion& c) {
+  --in_flight_;
+  ++result_.ios;
+  result_.bytes += c.request.bytes;
+  result_.latency.add(c.latency());
+  if (!limits_reached()) {
+    fill_pipe();
+    return;
+  }
+  if (in_flight_ == 0 && !finished_) {
+    finished_ = true;
+    result_.elapsed = sim_.now() - start_time_;
+    if (on_done_) on_done_();
+  }
+}
+
+JobResult run_job(sim::Simulator& sim, sim::BlockDevice& device, const JobSpec& spec) {
+  IoEngine engine(sim, device, spec);
+  bool done = false;
+  engine.start([&] { done = true; });
+  while (!done && sim.step()) {
+  }
+  PAS_CHECK_MSG(done, "simulation drained before the job finished");
+  return engine.result();
+}
+
+}  // namespace pas::iogen

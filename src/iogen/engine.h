@@ -1,0 +1,60 @@
+// Asynchronous IO engine, the moral equivalent of fio's libaio engine with
+// direct=1: keeps `iodepth` requests outstanding against a block device,
+// records per-IO completion latency, and stops at the byte or time limit.
+#pragma once
+
+#include <functional>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "iogen/job.h"
+#include "sim/block_device.h"
+#include "sim/simulator.h"
+
+namespace pas::iogen {
+
+class IoEngine {
+ public:
+  IoEngine(sim::Simulator& sim, sim::BlockDevice& device, JobSpec spec);
+
+  // Starts issuing; `on_done` fires once all in-flight IOs have completed
+  // after a stop condition is reached.
+  void start(std::function<void()> on_done);
+
+  bool finished() const { return finished_; }
+  const JobResult& result() const { return result_; }
+  int in_flight() const { return in_flight_; }
+
+ private:
+  bool limits_reached() const;
+  std::uint64_t next_offset();
+  sim::IoOp next_op();
+  void issue_one();
+  void fill_pipe();
+  void on_complete(const sim::IoCompletion& c);
+
+  sim::Simulator& sim_;
+  sim::BlockDevice& device_;
+  JobSpec spec_;
+  Rng rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  JobResult result_;
+  std::function<void()> on_done_;
+
+  TimeNs start_time_ = 0;
+  TimeNs deadline_ = 0;
+  std::uint64_t issued_bytes_ = 0;
+  std::uint64_t seq_cursor_ = 0;
+  std::uint64_t region_blocks_ = 0;
+  int in_flight_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+// Convenience: run one job to completion on a fresh simulator timeline,
+// returning the result. The simulator is advanced until the job finishes.
+JobResult run_job(sim::Simulator& sim, sim::BlockDevice& device, const JobSpec& spec);
+
+}  // namespace pas::iogen

@@ -1,0 +1,74 @@
+// fio-style job description and result summary.
+//
+// The paper's workloads (section 3): random/sequential reads and writes,
+// chunk sizes 4 KiB..2 MiB, queue depths 1..128, asynchronous direct IO,
+// each run capped at 60 seconds or 4 GiB of traffic, whichever comes first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/units.h"
+
+namespace pas::iogen {
+
+enum class Pattern : std::uint8_t { kSequential, kRandom };
+enum class OpKind : std::uint8_t { kRead, kWrite };
+// Offset distribution for random patterns: uniform, or scrambled-zipfian
+// skew (hot set), as real data-center traces exhibit.
+enum class OffsetDist : std::uint8_t { kUniform, kZipf };
+
+inline const char* to_string(Pattern p) {
+  return p == Pattern::kSequential ? "seq" : "rand";
+}
+inline const char* to_string(OpKind k) { return k == OpKind::kRead ? "read" : "write"; }
+
+struct JobSpec {
+  Pattern pattern = Pattern::kRandom;
+  OpKind op = OpKind::kWrite;
+  std::uint32_t block_bytes = 4096;  // fio bs=
+  int iodepth = 1;                   // fio iodepth=
+
+  // Mixed workloads (fio rwmixread=): when >= 0, this percentage of IOs are
+  // reads and the rest writes, overriding `op` per IO.
+  int rw_mix_read_pct = -1;
+
+  // Offset skew for random patterns.
+  OffsetDist offset_dist = OffsetDist::kUniform;
+  double zipf_theta = 0.99;
+
+  // Addressed region (fio size= / offset=): offsets are drawn from
+  // [region_offset, region_offset + region_bytes).
+  std::uint64_t region_offset = 0;
+  std::uint64_t region_bytes = 4 * GiB;
+
+  // Stop conditions: whichever comes first (paper: 4 GiB or one minute).
+  std::uint64_t io_limit_bytes = 4 * GiB;
+  TimeNs time_limit = seconds(60);
+
+  std::uint64_t seed = 1;
+
+  std::string label() const {
+    std::string s = to_string(pattern);
+    s += to_string(op);
+    s += " bs=" + std::to_string(block_bytes / 1024) + "KiB qd=" + std::to_string(iodepth);
+    return s;
+  }
+};
+
+struct JobResult {
+  std::uint64_t ios = 0;
+  std::uint64_t bytes = 0;
+  TimeNs elapsed = 0;
+  LatencyHistogram latency;
+
+  double throughput_mib_s() const { return mib_per_sec(bytes, elapsed); }
+  double iops() const {
+    return elapsed > 0 ? static_cast<double>(ios) / to_seconds(elapsed) : 0.0;
+  }
+  double avg_latency_us() const { return latency.mean_ns() / 1e3; }
+  double p99_latency_us() const { return static_cast<double>(latency.p99_ns()) / 1e3; }
+};
+
+}  // namespace pas::iogen

@@ -1,0 +1,126 @@
+#include "model/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pas::model {
+
+ExperimentPoint standby_option(Watts standby_power_w) {
+  ExperimentPoint p;
+  p.workload = "standby";
+  p.avg_power_w = standby_power_w;
+  p.throughput_mib_s = 0.0;
+  return p;
+}
+
+FleetPlanner::FleetPlanner(std::vector<FleetDevice> devices, double watt_resolution)
+    : devices_(std::move(devices)), resolution_(watt_resolution) {
+  PAS_CHECK(!devices_.empty());
+  PAS_CHECK(resolution_ > 0.0);
+  for (const auto& d : devices_) {
+    PAS_CHECK_MSG(!d.options.empty(), "fleet device without options");
+    for (const auto& o : d.options) PAS_CHECK(o.avg_power_w >= 0.0);
+  }
+}
+
+Watts FleetPlanner::min_total_power() const {
+  Watts total = 0.0;
+  for (const auto& d : devices_) {
+    Watts lo = d.options[0].avg_power_w;
+    for (const auto& o : d.options) lo = std::min(lo, o.avg_power_w);
+    total += lo;
+  }
+  return total;
+}
+
+Watts FleetPlanner::max_total_power() const {
+  Watts total = 0.0;
+  for (const auto& d : devices_) {
+    Watts hi = 0.0;
+    for (const auto& o : d.options) hi = std::max(hi, o.avg_power_w);
+    total += hi;
+  }
+  return total;
+}
+
+std::optional<FleetAssignment> FleetPlanner::best_under_power(Watts budget_w) const {
+  if (budget_w < 0.0) return std::nullopt;
+  // Each option's power is rounded *up* to the grid so the reconstructed
+  // assignment can never exceed the requested budget.
+  const auto bins = static_cast<std::size_t>(budget_w / resolution_) + 1;
+  constexpr double kInfeasible = -1.0;
+  std::vector<double> best(bins, kInfeasible);
+  best[0] = 0.0;
+  // choice[d * bins + w] = option index chosen for device d at budget bin w.
+  std::vector<int> choice(devices_.size() * bins, -1);
+
+  std::vector<double> next(bins);
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    std::fill(next.begin(), next.end(), kInfeasible);
+    const auto& options = devices_[d].options;
+    for (std::size_t w = 0; w < bins; ++w) {
+      if (best[w] == kInfeasible) continue;
+      for (std::size_t oi = 0; oi < options.size(); ++oi) {
+        const auto cost =
+            static_cast<std::size_t>(std::ceil(options[oi].avg_power_w / resolution_));
+        const std::size_t nw = w + cost;
+        if (nw >= bins) continue;
+        const double tp = best[w] + options[oi].throughput_mib_s;
+        if (tp > next[nw]) {
+          next[nw] = tp;
+          choice[d * bins + nw] = static_cast<int>(oi);
+        }
+      }
+    }
+    best.swap(next);
+    // Keep only the frontier: dominated (higher power, lower throughput)
+    // states stay; reconstruction walks exact bins, so no pruning needed.
+  }
+
+  // Find the best terminal bin.
+  std::size_t best_bin = bins;
+  double best_tp = kInfeasible;
+  for (std::size_t w = 0; w < bins; ++w) {
+    if (best[w] > best_tp) {
+      best_tp = best[w];
+      best_bin = w;
+    }
+  }
+  if (best_bin == bins) return std::nullopt;
+
+  // Reconstruct.
+  FleetAssignment out;
+  out.total_throughput_mib_s = best_tp;
+  std::size_t w = best_bin;
+  for (std::size_t d = devices_.size(); d-- > 0;) {
+    const int oi = choice[d * bins + w];
+    PAS_CHECK(oi >= 0);
+    const auto& opt = devices_[d].options[static_cast<std::size_t>(oi)];
+    out.per_device.push_back(DeviceAssignment{devices_[d].name, opt});
+    out.total_power_w += opt.avg_power_w;
+    const auto cost = static_cast<std::size_t>(std::ceil(opt.avg_power_w / resolution_));
+    PAS_CHECK(w >= cost);
+    w -= cost;
+  }
+  std::reverse(out.per_device.begin(), out.per_device.end());
+  return out;
+}
+
+std::vector<FleetAssignment> FleetPlanner::pareto(Watts max_budget_w, Watts step_w) const {
+  PAS_CHECK(step_w > 0.0);
+  std::vector<FleetAssignment> frontier;
+  double best_tp = -1.0;
+  for (Watts b = 0.0; b <= max_budget_w + 1e-9; b += step_w) {
+    auto a = best_under_power(b);
+    if (!a.has_value()) continue;
+    if (a->total_throughput_mib_s > best_tp) {
+      best_tp = a->total_throughput_mib_s;
+      frontier.push_back(std::move(*a));
+    }
+  }
+  return frontier;
+}
+
+}  // namespace pas::model

@@ -1,0 +1,61 @@
+// Multi-device extension of the power-throughput model (paper, end of
+// section 3.3): "In scenarios with multiple, heterogeneous devices,
+// power-throughput models of multiple devices can be combined to derive the
+// performance Pareto frontier of device configurations under a power budget."
+//
+// Each device contributes a set of configuration options (its measured
+// points, optionally plus a standby pseudo-configuration). The planner picks
+// exactly one option per device to maximize aggregate throughput within a
+// total power budget, via dynamic programming over a discretized watt grid.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "model/power_throughput.h"
+
+namespace pas::model {
+
+struct FleetDevice {
+  std::string name;
+  std::vector<ExperimentPoint> options;  // must be non-empty
+};
+
+struct DeviceAssignment {
+  std::string device;
+  ExperimentPoint chosen;
+};
+
+struct FleetAssignment {
+  Watts total_power_w = 0.0;
+  double total_throughput_mib_s = 0.0;
+  std::vector<DeviceAssignment> per_device;
+};
+
+// Helper: a standby/idle pseudo-option (e.g. HDD standby at 1.05 W, zero
+// throughput) that lets the planner park devices under tight budgets.
+ExperimentPoint standby_option(Watts standby_power_w);
+
+class FleetPlanner {
+ public:
+  explicit FleetPlanner(std::vector<FleetDevice> devices, double watt_resolution = 0.1);
+
+  // Maximum-throughput assignment with total power <= budget. Returns
+  // nullopt when even the lowest-power assignment exceeds the budget.
+  std::optional<FleetAssignment> best_under_power(Watts budget_w) const;
+
+  // Fleet-level Pareto frontier swept across budgets.
+  std::vector<FleetAssignment> pareto(Watts max_budget_w, Watts step_w) const;
+
+  // Bounds of achievable total power.
+  Watts min_total_power() const;
+  Watts max_total_power() const;
+
+ private:
+  std::vector<FleetDevice> devices_;
+  double resolution_;
+};
+
+}  // namespace pas::model

@@ -1,0 +1,46 @@
+#include "model/latency.h"
+
+#include "common/check.h"
+
+namespace pas::model {
+
+PowerLatencyModel::PowerLatencyModel(std::string device, std::vector<ExperimentPoint> points)
+    : device_(std::move(device)), points_(std::move(points)) {
+  PAS_CHECK_MSG(!points_.empty(), "model needs at least one experiment point");
+}
+
+std::optional<ExperimentPoint> PowerLatencyModel::min_power_meeting(
+    const LatencySlo& slo) const {
+  const ExperimentPoint* best = nullptr;
+  for (const auto& p : points_) {
+    if (!slo.admits(p)) continue;
+    if (best == nullptr || p.avg_power_w < best->avg_power_w ||
+        (p.avg_power_w == best->avg_power_w &&
+         p.throughput_mib_s > best->throughput_mib_s)) {
+      best = &p;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::optional<ExperimentPoint> PowerLatencyModel::best_under_power_meeting(
+    Watts budget_w, const LatencySlo& slo) const {
+  const ExperimentPoint* best = nullptr;
+  for (const auto& p : points_) {
+    if (p.avg_power_w > budget_w || !slo.admits(p)) continue;
+    if (best == nullptr || p.throughput_mib_s > best->throughput_mib_s) best = &p;
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::optional<double> PowerLatencyModel::slo_power_premium(const LatencySlo& slo) const {
+  const auto with_slo = min_power_meeting(slo);
+  if (!with_slo.has_value()) return std::nullopt;
+  const auto unconstrained = min_power_meeting(LatencySlo{});
+  PAS_CHECK(unconstrained.has_value());
+  return with_slo->avg_power_w / unconstrained->avg_power_w;
+}
+
+}  // namespace pas::model

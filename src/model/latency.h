@@ -1,0 +1,52 @@
+// Latency-constrained queries over measured experiment points (paper,
+// section 4: "For latency, a similar model can be drawn from the measurement
+// results"). Given per-configuration latency percentiles from the campaign,
+// an operator can ask for the lowest-power configuration that still meets a
+// latency SLO, or the best throughput under a joint power+latency budget.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "model/power_throughput.h"
+
+namespace pas::model {
+
+struct LatencySlo {
+  double max_avg_us = 0.0;  // 0 = unconstrained
+  double max_p99_us = 0.0;  // 0 = unconstrained
+
+  bool admits(const ExperimentPoint& p) const {
+    if (max_avg_us > 0.0 && p.avg_latency_us > max_avg_us) return false;
+    if (max_p99_us > 0.0 && p.p99_latency_us > max_p99_us) return false;
+    return true;
+  }
+};
+
+class PowerLatencyModel {
+ public:
+  PowerLatencyModel(std::string device, std::vector<ExperimentPoint> points);
+
+  const std::string& device() const { return device_; }
+  const std::vector<ExperimentPoint>& points() const { return points_; }
+
+  // Lowest-power configuration that meets the SLO (ties broken by higher
+  // throughput). nullopt when no configuration meets it.
+  std::optional<ExperimentPoint> min_power_meeting(const LatencySlo& slo) const;
+
+  // Highest-throughput configuration meeting the SLO within a power budget.
+  std::optional<ExperimentPoint> best_under_power_meeting(Watts budget_w,
+                                                          const LatencySlo& slo) const;
+
+  // How much power the SLO costs: min feasible power with the SLO divided by
+  // min power without it (>= 1). nullopt when the SLO is infeasible.
+  std::optional<double> slo_power_premium(const LatencySlo& slo) const;
+
+ private:
+  std::string device_;
+  std::vector<ExperimentPoint> points_;
+};
+
+}  // namespace pas::model

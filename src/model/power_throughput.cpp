@@ -1,0 +1,90 @@
+#include "model/power_throughput.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pas::model {
+
+std::string ExperimentPoint::config_label() const {
+  return "ps" + std::to_string(power_state) + " bs=" +
+         std::to_string(chunk_bytes / 1024) + "KiB qd=" + std::to_string(queue_depth);
+}
+
+PowerThroughputModel::PowerThroughputModel(std::string device,
+                                           std::vector<ExperimentPoint> points)
+    : device_(std::move(device)), points_(std::move(points)) {
+  PAS_CHECK_MSG(!points_.empty(), "model needs at least one experiment point");
+  max_power_ = points_[0].avg_power_w;
+  min_power_ = points_[0].avg_power_w;
+  max_throughput_ = points_[0].throughput_mib_s;
+  for (const auto& p : points_) {
+    PAS_CHECK(p.avg_power_w > 0.0);
+    max_power_ = std::max(max_power_, p.avg_power_w);
+    min_power_ = std::min(min_power_, p.avg_power_w);
+    max_throughput_ = std::max(max_throughput_, p.throughput_mib_s);
+  }
+  PAS_CHECK(max_throughput_ > 0.0);
+}
+
+std::vector<NormalizedPoint> PowerThroughputModel::normalized() const {
+  std::vector<NormalizedPoint> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) {
+    out.push_back(NormalizedPoint{&p, p.avg_power_w / max_power_,
+                                  p.throughput_mib_s / max_throughput_});
+  }
+  return out;
+}
+
+double PowerThroughputModel::power_dynamic_range() const {
+  return (max_power_ - min_power_) / max_power_;
+}
+
+double PowerThroughputModel::min_throughput_fraction() const {
+  double lo = points_[0].throughput_mib_s;
+  for (const auto& p : points_) lo = std::min(lo, p.throughput_mib_s);
+  return lo / max_throughput_;
+}
+
+std::optional<ExperimentPoint> PowerThroughputModel::best_under_power_fraction(
+    double fraction) const {
+  return best_under_power(fraction * max_power_);
+}
+
+std::optional<ExperimentPoint> PowerThroughputModel::best_under_power(Watts budget) const {
+  const ExperimentPoint* best = nullptr;
+  for (const auto& p : points_) {
+    if (p.avg_power_w > budget) continue;
+    if (best == nullptr || p.throughput_mib_s > best->throughput_mib_s) best = &p;
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+const ExperimentPoint& PowerThroughputModel::max_throughput_point() const {
+  const ExperimentPoint* best = &points_[0];
+  for (const auto& p : points_) {
+    if (p.throughput_mib_s > best->throughput_mib_s) best = &p;
+  }
+  return *best;
+}
+
+std::vector<ExperimentPoint> PowerThroughputModel::pareto_frontier() const {
+  std::vector<ExperimentPoint> sorted = points_;
+  std::sort(sorted.begin(), sorted.end(), [](const ExperimentPoint& a, const ExperimentPoint& b) {
+    if (a.avg_power_w != b.avg_power_w) return a.avg_power_w < b.avg_power_w;
+    return a.throughput_mib_s > b.throughput_mib_s;
+  });
+  std::vector<ExperimentPoint> frontier;
+  double best_tp = -1.0;
+  for (const auto& p : sorted) {
+    if (p.throughput_mib_s > best_tp) {
+      frontier.push_back(p);
+      best_tp = p.throughput_mib_s;
+    }
+  }
+  return frontier;
+}
+
+}  // namespace pas::model

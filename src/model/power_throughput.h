@@ -1,0 +1,80 @@
+// The paper's section 3.3 contribution: a per-device power-throughput model
+// built from measured experiment points (every combination of power state
+// and IO shape), normalized to the device's maxima, and queryable by a
+// power budget ("given a 20% power reduction, which configuration keeps the
+// most throughput, and how much best-effort load must be curtailed?").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace pas::model {
+
+// One measured configuration: a power state plus an IO shape, with the
+// observed average power and performance.
+struct ExperimentPoint {
+  std::string device;       // "SSD1", ...
+  int power_state = 0;
+  std::uint32_t chunk_bytes = 0;
+  int queue_depth = 0;
+  std::string workload;     // "randwrite", ...
+
+  Watts avg_power_w = 0.0;
+  double throughput_mib_s = 0.0;
+  double avg_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+
+  std::string config_label() const;
+};
+
+struct NormalizedPoint {
+  const ExperimentPoint* point = nullptr;
+  double power = 0.0;       // avg_power / max avg_power of the device
+  double throughput = 0.0;  // throughput / max throughput of the device
+};
+
+// Model for one device under one workload class (the paper plots randwrite).
+class PowerThroughputModel {
+ public:
+  PowerThroughputModel(std::string device, std::vector<ExperimentPoint> points);
+
+  const std::string& device() const { return device_; }
+  const std::vector<ExperimentPoint>& points() const { return points_; }
+  std::vector<NormalizedPoint> normalized() const;
+
+  Watts max_power() const { return max_power_; }
+  Watts min_power() const { return min_power_; }
+  double max_throughput() const { return max_throughput_; }
+
+  // Power dynamic range as a fraction of maximum average power
+  // (paper: SSD2 achieves 59.4%).
+  double power_dynamic_range() const;
+
+  // Throughput floor as a fraction of maximum (paper: HDD drops to 4%).
+  double min_throughput_fraction() const;
+
+  // Best configuration whose power is at most `fraction` of the device's
+  // maximum average power; maximizes throughput. Returns nullopt when even
+  // the lowest-power configuration exceeds the budget.
+  std::optional<ExperimentPoint> best_under_power_fraction(double fraction) const;
+  std::optional<ExperimentPoint> best_under_power(Watts budget) const;
+
+  // The point with the highest throughput (the "normal operation" corner).
+  const ExperimentPoint& max_throughput_point() const;
+
+  // Pareto frontier (maximal throughput for given power), ascending power.
+  std::vector<ExperimentPoint> pareto_frontier() const;
+
+ private:
+  std::string device_;
+  std::vector<ExperimentPoint> points_;
+  Watts max_power_ = 0.0;
+  Watts min_power_ = 0.0;
+  double max_throughput_ = 0.0;
+};
+
+}  // namespace pas::model

@@ -1,0 +1,50 @@
+// NAND flash package geometry, timing, and power parameters.
+//
+// Values are calibrated per device in src/devices/ from public datasheets and
+// the power ranges the paper measured; see DESIGN.md section 2.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace pas::nand {
+
+struct NandConfig {
+  // Geometry.
+  int channels = 8;
+  int dies_per_channel = 4;
+  int planes_per_die = 4;
+  std::uint32_t page_bytes = 16 * KiB;
+  std::uint32_t pages_per_block = 256;  // physical pages per block per plane
+
+  // Timing (TLC-class defaults).
+  TimeNs t_read = microseconds(70);      // array sense, per (multi-plane) read
+  TimeNs t_program = microseconds(600);  // per (multi-plane) program
+  TimeNs t_erase = milliseconds(3);
+  double channel_mib_s = 1200.0;         // ONFI transfer rate per channel
+
+  // Power. Die power applies while the die is busy on the op; channel power
+  // applies while the channel moves data.
+  Watts p_die_read_w = 0.13;
+  Watts p_die_program_w = 0.33;
+  Watts p_die_erase_w = 0.25;
+  Watts p_channel_xfer_w = 0.30;
+  // Per-operation multiplicative power variation (program pulse counts vary
+  // with the cell state being written; reads vary with read-retry). This is
+  // part of what gives real drives their millisecond-scale power texture
+  // (paper, Figure 2a).
+  double p_die_sigma = 0.12;
+
+  int total_dies() const { return channels * dies_per_channel; }
+  std::uint64_t block_bytes() const {
+    return static_cast<std::uint64_t>(pages_per_block) * page_bytes *
+           static_cast<std::uint32_t>(planes_per_die);
+  }
+  // Bytes covered by one full multi-plane op.
+  std::uint32_t stripe_bytes() const {
+    return page_bytes * static_cast<std::uint32_t>(planes_per_die);
+  }
+};
+
+}  // namespace pas::nand

@@ -1,0 +1,41 @@
+// Exact energy accounting over a piecewise-constant power signal.
+//
+// Device models update their draw through set_power() whenever a component
+// changes state; energy_at() integrates the signal exactly. This is the
+// ground truth the sampled measurement rig is validated against.
+#pragma once
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace pas::power {
+
+class EnergyMeter {
+ public:
+  EnergyMeter() = default;
+  explicit EnergyMeter(TimeNs start, Watts initial = 0.0)
+      : last_update_(start), power_(initial) {}
+
+  // Sets the current draw; integrates the previous level up to `now`.
+  void set_power(TimeNs now, Watts w) {
+    PAS_CHECK(now >= last_update_);
+    PAS_CHECK(w >= 0.0);
+    energy_ += power_ * to_seconds(now - last_update_);
+    last_update_ = now;
+    power_ = w;
+  }
+
+  Watts power() const { return power_; }
+
+  Joules energy_at(TimeNs now) const {
+    PAS_CHECK(now >= last_update_);
+    return energy_ + power_ * to_seconds(now - last_update_);
+  }
+
+ private:
+  TimeNs last_update_ = 0;
+  Watts power_ = 0.0;
+  Joules energy_ = 0.0;
+};
+
+}  // namespace pas::power

@@ -1,0 +1,98 @@
+#include "power/rig.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pas::power {
+
+MeasurementRig::MeasurementRig(sim::Simulator& sim, const sim::BlockDevice& device,
+                               RigConfig config, std::uint64_t noise_seed)
+    : sim_(sim),
+      device_(device),
+      config_(config),
+      rng_(noise_seed),
+      task_(sim, config.sample_period, [this] { sample(); }) {
+  PAS_CHECK(config_.rail_voltage_v > 0.0);
+  PAS_CHECK(config_.shunt_ohms > 0.0);
+  PAS_CHECK(config_.amp_gain > 0.0);
+  PAS_CHECK(config_.adc_bits >= 8 && config_.adc_bits <= 32);
+  PAS_CHECK(config_.sample_period > 0);
+
+  auto uniform_pm = [this](double mag) { return (2.0 * rng_.next_double() - 1.0) * mag; };
+
+  // The physical parts deviate from their nominal values within tolerance.
+  actual_shunt_ohms_ = config_.shunt_ohms * (1.0 + uniform_pm(config_.shunt_tolerance));
+  actual_gain_ = config_.amp_gain * (1.0 + uniform_pm(config_.amp_gain_error));
+  actual_offset_v_ = uniform_pm(config_.amp_offset_v);
+
+  if (config_.calibrated) {
+    // Two-point calibration recovers the chain constants up to the accuracy
+    // of the reference loads (~0.2% gain, ~20 uV offset).
+    recon_gain_ = actual_gain_ * actual_shunt_ohms_ / config_.shunt_ohms *
+                  (1.0 + uniform_pm(0.002));
+    recon_offset_v_ = actual_offset_v_ + uniform_pm(0.00002);
+  } else {
+    recon_gain_ = config_.amp_gain;
+    recon_offset_v_ = 0.0;
+  }
+}
+
+void MeasurementRig::start() {
+  if (started_) return;
+  started_ = true;
+  last_energy_ = device_.consumed_energy();
+  last_sample_time_ = sim_.now();
+  task_.start();
+}
+
+void MeasurementRig::stop() {
+  task_.stop();
+  started_ = false;
+}
+
+PowerTrace MeasurementRig::take_trace() {
+  PowerTrace out = std::move(trace_);
+  trace_ = PowerTrace{};
+  return out;
+}
+
+Watts MeasurementRig::measure_once(Watts true_power) {
+  PAS_CHECK(true_power >= 0.0);
+  // Forward path: power -> rail current -> shunt differential voltage ->
+  // amplifier (gain error, offset, input noise) -> ADC code.
+  const double current_a = true_power / config_.rail_voltage_v;
+  const double shunt_v = current_a * actual_shunt_ohms_;
+  const double noise_v = rng_.next_gaussian(0.0, config_.amp_noise_v_rms);
+  const double amp_v = (shunt_v + actual_offset_v_ + noise_v) * actual_gain_;
+
+  const double full_scale = static_cast<double>(1LL << (config_.adc_bits - 1));
+  double code = std::round(amp_v / config_.adc_vref_v * full_scale);
+  code += std::round(rng_.next_gaussian(0.0, config_.adc_noise_lsb_rms));
+  code = std::clamp(code, -full_scale, full_scale - 1.0);
+  const double adc_v = code / full_scale * config_.adc_vref_v;
+
+  // Reconstruction with the calibrated chain constants.
+  const double est_shunt_v = adc_v / recon_gain_ - recon_offset_v_;
+  const double est_current_a = est_shunt_v / config_.shunt_ohms;
+  return std::max(0.0, est_current_a * config_.rail_voltage_v);
+}
+
+void MeasurementRig::sample() {
+  const TimeNs now = sim_.now();
+  Watts true_power = 0.0;
+  if (config_.integrating) {
+    const Joules energy = device_.consumed_energy();
+    const TimeNs dt = now - last_sample_time_;
+    PAS_CHECK(dt > 0);
+    true_power = (energy - last_energy_) / to_seconds(dt);
+    last_energy_ = energy;
+    last_sample_time_ = now;
+  } else {
+    true_power = device_.instantaneous_power();
+  }
+  trace_.add(now, measure_once(true_power));
+}
+
+}  // namespace pas::power

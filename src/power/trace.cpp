@@ -1,0 +1,105 @@
+#include "power/trace.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pas::power {
+
+void PowerTrace::add(TimeNs t, Watts w) {
+  PAS_CHECK_MSG(samples_.empty() || t > samples_.back().t,
+                "trace timestamps must be strictly increasing");
+  samples_.push_back(PowerSample{t, w});
+}
+
+TimeNs PowerTrace::start_time() const {
+  PAS_CHECK(!samples_.empty());
+  return samples_.front().t;
+}
+
+TimeNs PowerTrace::end_time() const {
+  PAS_CHECK(!samples_.empty());
+  return samples_.back().t;
+}
+
+TimeNs PowerTrace::duration() const { return end_time() - start_time(); }
+
+Watts PowerTrace::mean_power() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : samples_) sum += s.watts;
+  return sum / static_cast<double>(samples_.size());
+}
+
+Watts PowerTrace::min_power() const {
+  PAS_CHECK(!samples_.empty());
+  return std::min_element(samples_.begin(), samples_.end(),
+                          [](const PowerSample& a, const PowerSample& b) {
+                            return a.watts < b.watts;
+                          })
+      ->watts;
+}
+
+Watts PowerTrace::max_power() const {
+  PAS_CHECK(!samples_.empty());
+  return std::max_element(samples_.begin(), samples_.end(),
+                          [](const PowerSample& a, const PowerSample& b) {
+                            return a.watts < b.watts;
+                          })
+      ->watts;
+}
+
+Joules PowerTrace::energy() const {
+  if (samples_.size() < 2) return 0.0;
+  // Each sample reports (for the integrating rig) average power over the
+  // preceding period; multiply by the inter-sample spacing.
+  double joules = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    joules += samples_[i].watts * to_seconds(samples_[i].t - samples_[i - 1].t);
+  }
+  return joules;
+}
+
+Watts PowerTrace::max_window_average(TimeNs window) const {
+  PAS_CHECK(window > 0);
+  if (samples_.empty()) return 0.0;
+  // NVMe power states constrain the average over any window of the full
+  // length; shorter bursts are unconstrained. Slide full-length windows with
+  // two pointers; when the trace is shorter than one window, the only
+  // meaningful value is the overall mean.
+  if (samples_.back().t - samples_.front().t < window) return mean_power();
+  double best = 0.0;
+  double window_sum = 0.0;
+  std::size_t lo = 0;
+  for (std::size_t hi = 0; hi < samples_.size(); ++hi) {
+    window_sum += samples_[hi].watts;
+    while (samples_[hi].t - samples_[lo].t >= window) {
+      // [lo..hi] spans at least `window`: a complete window ending at hi.
+      const auto n = static_cast<double>(hi - lo + 1);
+      best = std::max(best, window_sum / n);
+      window_sum -= samples_[lo].watts;
+      ++lo;
+    }
+  }
+  return best;
+}
+
+PowerTrace PowerTrace::slice(TimeNs from, TimeNs to) const {
+  PAS_CHECK(from <= to);
+  PowerTrace out;
+  for (const auto& s : samples_) {
+    if (s.t >= from && s.t < to) out.add(s.t, s.watts);
+  }
+  return out;
+}
+
+SampleSet PowerTrace::to_sample_set() const {
+  SampleSet set;
+  set.reserve(samples_.size());
+  for (const auto& s : samples_) set.add(s.watts);
+  return set;
+}
+
+DistributionSummary PowerTrace::distribution() const { return summarize(to_sample_set()); }
+
+}  // namespace pas::power

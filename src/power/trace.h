@@ -1,0 +1,58 @@
+// A power trace: timestamped power samples produced by the measurement rig,
+// with the analyses the paper performs on them (distribution summaries for
+// the Figure 2b violins, sliding-window averages for cap validation,
+// time-slicing for transition plots like Figure 7).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace pas::power {
+
+struct PowerSample {
+  TimeNs t = 0;
+  Watts watts = 0.0;
+};
+
+class PowerTrace {
+ public:
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void add(TimeNs t, Watts w);
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+  const std::vector<PowerSample>& samples() const { return samples_; }
+  const PowerSample& operator[](std::size_t i) const { return samples_[i]; }
+
+  TimeNs start_time() const;
+  TimeNs end_time() const;
+  TimeNs duration() const;
+
+  // Time-weighted is unnecessary: the rig samples at a fixed period, so the
+  // arithmetic mean of samples is the average power.
+  Watts mean_power() const;
+  Watts min_power() const;
+  Watts max_power() const;
+
+  // Energy estimate from the samples (sample value x sample spacing).
+  Joules energy() const;
+
+  // Maximum average power over any sliding window of length `window`.
+  // This is the quantity an NVMe power state caps (window = 10 s).
+  Watts max_window_average(TimeNs window) const;
+
+  // Samples with t in [from, to).
+  PowerTrace slice(TimeNs from, TimeNs to) const;
+
+  // Full distribution of sample values (violin plot input).
+  SampleSet to_sample_set() const;
+  DistributionSummary distribution() const;
+
+ private:
+  std::vector<PowerSample> samples_;
+};
+
+}  // namespace pas::power

@@ -1,0 +1,66 @@
+// Abstract block device, the boundary between the IO generator / host stack
+// and the device models (pas::ssd::SsdDevice, pas::hdd::HddDevice).
+//
+// Devices also expose their ground-truth instantaneous power draw; the
+// measurement rig (pas::power) samples it through a modeled shunt + ADC
+// chain, exactly as the paper's physical rig samples a drive's power rails.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/units.h"
+
+namespace pas::sim {
+
+enum class IoOp : std::uint8_t { kRead, kWrite, kFlush };
+
+inline const char* to_string(IoOp op) {
+  switch (op) {
+    case IoOp::kRead: return "read";
+    case IoOp::kWrite: return "write";
+    case IoOp::kFlush: return "flush";
+  }
+  return "?";
+}
+
+struct IoRequest {
+  IoOp op = IoOp::kRead;
+  std::uint64_t offset = 0;  // bytes; must be sector-aligned
+  std::uint32_t bytes = 0;   // length; must be sector-aligned (0 ok for flush)
+};
+
+struct IoCompletion {
+  IoRequest request;
+  TimeNs submit_time = 0;
+  TimeNs complete_time = 0;
+
+  TimeNs latency() const { return complete_time - submit_time; }
+};
+
+using IoCallback = std::function<void(const IoCompletion&)>;
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual std::uint64_t capacity_bytes() const = 0;
+  virtual std::uint32_t sector_bytes() const = 0;
+
+  // Submits an asynchronous IO. The callback fires on the simulator at
+  // completion time. Devices accept any number of outstanding requests;
+  // internal queueing is part of the model.
+  virtual void submit(const IoRequest& req, IoCallback done) = 0;
+
+  // Ground-truth instantaneous power draw at the current simulated time.
+  virtual Watts instantaneous_power() const = 0;
+
+  // Ground-truth energy consumed since construction, integrated exactly over
+  // the piecewise-constant power signal. Used by conservation tests to
+  // validate the sampled measurement path.
+  virtual Joules consumed_energy() const = 0;
+};
+
+}  // namespace pas::sim

@@ -1,0 +1,67 @@
+// Host-visible power-management surface of a storage device.
+//
+// Mirrors the two real-world control planes the paper exercises:
+//  * NVMe power states (Set Features, Feature ID 0x02) — a table of states,
+//    each capping average power over any 10-second window;
+//  * SATA link power management (ALPM PARTIAL/SLUMBER) and
+//    STANDBY IMMEDIATE (HDD spin-down / SSD deep standby).
+//
+// pas::devmgmt::NvmeAdmin and pas::devmgmt::SataAlpm speak to devices through
+// this interface the way nvme-cli and hdparm would through ioctls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace pas::sim {
+
+// One row of an NVMe-style power state table.
+struct PowerStateDesc {
+  int index = 0;
+  Watts max_power_w = 0.0;     // cap on 10s-average power
+  TimeNs entry_latency = 0;    // transition cost into the state
+  TimeNs exit_latency = 0;
+  bool operational = true;     // false for non-operational (idle-only) states
+};
+
+enum class LinkPmState : std::uint8_t { kActive, kPartial, kSlumber };
+
+inline const char* to_string(LinkPmState s) {
+  switch (s) {
+    case LinkPmState::kActive: return "ACTIVE";
+    case LinkPmState::kPartial: return "PARTIAL";
+    case LinkPmState::kSlumber: return "SLUMBER";
+  }
+  return "?";
+}
+
+// ATA check-power-mode result values (subset).
+enum class AtaPowerMode : std::uint8_t { kActiveIdle, kStandby, kSleep };
+
+class PowerManageable {
+ public:
+  virtual ~PowerManageable() = default;
+
+  // --- NVMe-style operational power states ---
+  virtual int power_state_count() const { return 1; }
+  virtual int power_state() const { return 0; }
+  virtual void set_power_state(int /*ps*/) {}
+  virtual std::vector<PowerStateDesc> power_state_table() const { return {}; }
+
+  // --- SATA link power management (ALPM) ---
+  virtual bool supports_alpm() const { return false; }
+  virtual LinkPmState link_pm_state() const { return LinkPmState::kActive; }
+  virtual void set_link_pm(LinkPmState /*s*/) {}
+
+  // --- ATA standby (HDD spin-down, SSD deep standby) ---
+  virtual bool supports_standby() const { return false; }
+  virtual AtaPowerMode ata_power_mode() const { return AtaPowerMode::kActiveIdle; }
+  virtual void standby_immediate() {}
+  // Explicit wake (IO to a standby device also wakes it implicitly).
+  virtual void spin_up() {}
+};
+
+}  // namespace pas::sim

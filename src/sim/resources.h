@@ -1,0 +1,99 @@
+// Queued-resource primitives used by the device models.
+//
+// SerialResource: one user at a time, FIFO waiters (a host link, a NAND
+// channel). ResourcePool: k identical servers, FIFO waiters (controller
+// cores). Both report busy-count changes so owners can recompute power.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pas::sim {
+
+class SerialResource {
+ public:
+  using BusyListener = std::function<void(bool busy)>;
+
+  void set_busy_listener(BusyListener cb) { on_busy_ = std::move(cb); }
+
+  bool busy() const { return busy_; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+  // Runs `go` as soon as the resource is free (possibly immediately).
+  // The holder must call release() when done.
+  void acquire(std::function<void()> go) {
+    PAS_CHECK(go != nullptr);
+    if (busy_) {
+      waiters_.push_back(std::move(go));
+      return;
+    }
+    busy_ = true;
+    if (on_busy_) on_busy_(true);
+    go();
+  }
+
+  void release() {
+    PAS_CHECK(busy_);
+    if (!waiters_.empty()) {
+      auto go = std::move(waiters_.front());
+      waiters_.pop_front();
+      go();  // stays busy; hand over directly
+      return;
+    }
+    busy_ = false;
+    if (on_busy_) on_busy_(false);
+  }
+
+ private:
+  bool busy_ = false;
+  std::deque<std::function<void()>> waiters_;
+  BusyListener on_busy_;
+};
+
+class ResourcePool {
+ public:
+  using CountListener = std::function<void(int busy_servers)>;
+
+  explicit ResourcePool(int servers) : servers_(servers) { PAS_CHECK(servers > 0); }
+
+  void set_count_listener(CountListener cb) { on_count_ = std::move(cb); }
+
+  int busy_servers() const { return busy_; }
+  int servers() const { return servers_; }
+  std::size_t waiters() const { return waiters_.size(); }
+
+  void acquire(std::function<void()> go) {
+    PAS_CHECK(go != nullptr);
+    if (busy_ >= servers_) {
+      waiters_.push_back(std::move(go));
+      return;
+    }
+    ++busy_;
+    if (on_count_) on_count_(busy_);
+    go();
+  }
+
+  void release() {
+    PAS_CHECK(busy_ > 0);
+    if (!waiters_.empty()) {
+      auto go = std::move(waiters_.front());
+      waiters_.pop_front();
+      go();  // server count unchanged; hand over directly
+      return;
+    }
+    --busy_;
+    if (on_count_) on_count_(busy_);
+  }
+
+ private:
+  int servers_;
+  int busy_ = 0;
+  std::deque<std::function<void()>> waiters_;
+  CountListener on_count_;
+};
+
+}  // namespace pas::sim

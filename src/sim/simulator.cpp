@@ -1,0 +1,82 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace pas::sim {
+
+Simulator::EventId Simulator::schedule_at(TimeNs t, Callback cb) {
+  PAS_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  PAS_CHECK(cb != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(HeapEntry{t, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.t;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(TimeNs t) {
+  PAS_CHECK(t >= now_);
+  while (!heap_.empty()) {
+    // Skip cancelled entries without advancing time.
+    const HeapEntry top = heap_.top();
+    if (callbacks_.find(top.id) == callbacks_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (top.t > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+void Simulator::run_to_completion() {
+  while (step()) {
+  }
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, TimeNs period, Simulator::Callback cb)
+    : sim_(sim), period_(period), cb_(std::move(cb)) {
+  PAS_CHECK(period_ > 0);
+  PAS_CHECK(cb_ != nullptr);
+}
+
+void PeriodicTask::start() {
+  if (!stopped_) return;
+  stopped_ = false;
+  arm();
+}
+
+void PeriodicTask::stop() {
+  stopped_ = true;
+  if (pending_ != Simulator::kInvalidEvent) {
+    sim_.cancel(pending_);
+    pending_ = Simulator::kInvalidEvent;
+  }
+}
+
+void PeriodicTask::arm() {
+  pending_ = sim_.schedule_after(period_, [this] {
+    pending_ = Simulator::kInvalidEvent;
+    cb_();
+    if (!stopped_) arm();  // cb_ may have called stop()
+  });
+}
+
+}  // namespace pas::sim

@@ -1,0 +1,95 @@
+// Discrete-event simulation kernel.
+//
+// The whole library runs on simulated time: devices, workload generators, and
+// the measurement rig all schedule callbacks here. Events with equal
+// timestamps fire in scheduling order (a monotonically increasing sequence
+// number breaks ties), which makes every run deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace pas::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeNs now() const { return now_; }
+
+  // Schedules `cb` to run at absolute simulated time `t` (>= now).
+  EventId schedule_at(TimeNs t, Callback cb);
+
+  // Schedules `cb` to run `delay` nanoseconds from now (>= 0).
+  EventId schedule_after(TimeNs delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  // Cancels a pending event. Returns false if it already ran or was cancelled.
+  bool cancel(EventId id);
+
+  // Runs the next pending event, advancing time to it. Returns false if none.
+  bool step();
+
+  // Runs all events with timestamp <= t, then sets now() to exactly t.
+  void run_until(TimeNs t);
+
+  // Runs until the event queue drains.
+  void run_to_completion();
+
+  std::size_t pending_events() const { return callbacks_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct HeapEntry {
+    TimeNs t;
+    EventId id;
+    bool operator>(const HeapEntry& o) const {
+      if (t != o.t) return t > o.t;
+      return id > o.id;  // FIFO among same-time events
+    }
+  };
+
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+// Repeats a callback every `period` until stop() or the owning simulator
+// drains. Used for ADC sampling ticks and governor accounting windows.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& sim, TimeNs period, Simulator::Callback cb);
+  ~PeriodicTask() { stop(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return !stopped_; }
+
+ private:
+  void arm();
+
+  Simulator& sim_;
+  TimeNs period_;
+  Simulator::Callback cb_;
+  Simulator::EventId pending_ = Simulator::kInvalidEvent;
+  bool stopped_ = true;
+};
+
+}  // namespace pas::sim

@@ -1,0 +1,159 @@
+// Page-mapped flash translation layer.
+//
+// Logical space is divided into mapping units of one sector (4 KiB). Physical
+// space is organized as per-die superblocks; host and GC writes fill one
+// stripe (a multi-plane page, e.g. 64 KiB) at a time, striped round-robin
+// across dies. Greedy garbage collection (min-valid victim) runs when the
+// free-superblock pool falls below a watermark; host allocation back-pressures
+// when the pool is nearly exhausted (the classic write cliff).
+//
+// The FTL issues NAND operations through an injected function so the device
+// can route them through the power-cap governor.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nand/array.h"
+#include "ssd/config.h"
+
+namespace pas::ssd {
+
+struct FtlStats {
+  std::uint64_t host_units_written = 0;  // mapping units programmed for host
+  std::uint64_t gc_units_moved = 0;      // mapping units rewritten by GC
+  std::uint64_t nand_page_reads = 0;
+  std::uint64_t nand_programs = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t gc_runs = 0;
+
+  double write_amplification() const {
+    if (host_units_written == 0) return 1.0;
+    return static_cast<double>(host_units_written + gc_units_moved) /
+           static_cast<double>(host_units_written);
+  }
+};
+
+class Ftl {
+ public:
+  using IssueNand = std::function<void(nand::NandOp)>;
+  // Schedules a callback after a simulated delay (provided by the device, so
+  // the FTL can pace lazy GC without holding a simulator reference).
+  using Defer = std::function<void(TimeNs, std::function<void()>)>;
+
+  Ftl(const SsdConfig& config, IssueNand issue, Defer defer, Rng rng);
+
+  // Programs up to one stripe's worth of mapping units for the host.
+  // Updates the map at issue time; `done` fires when the program completes.
+  // May stall internally when free space requires GC first.
+  void write_units(std::vector<std::uint64_t> lpns, std::function<void()> done);
+
+  // Reads the given mapping units; coalesces units sharing a physical page
+  // into one NAND read. `done` fires when all page reads complete.
+  void read_units(const std::vector<std::uint64_t>& lpns, std::function<void()> done);
+
+  // Instantly maps the whole logical space sequentially (no simulated time):
+  // models a drive filled with data before the experiment.
+  void precondition_sequential();
+
+  const FtlStats& stats() const { return stats_; }
+  const SsdConfig& config() const { return config_; }
+
+  std::uint64_t total_units() const { return total_lpns_; }
+  std::uint32_t units_per_stripe() const { return units_per_stripe_; }
+  int free_blocks() const { return static_cast<int>(total_free_blocks_); }
+  bool gc_active() const { return moves_in_flight_ > 0 || erases_in_flight_ > 0; }
+  std::size_t stalled_writes() const { return stalled_writes_.size(); }
+  bool is_mapped(std::uint64_t lpn) const;
+  // True when no deferred work (stalled host writes or an active GC) remains.
+  bool quiescent() const { return !gc_active() && stalled_writes_.empty(); }
+
+ private:
+  static constexpr std::uint32_t kUnmapped = 0xFFFFFFFFu;
+
+  struct Block {
+    enum class State : std::uint8_t { kFree, kOpen, kSealed } state = State::kFree;
+    bool queued_dead = false;  // already on the dead list / being erased
+    bool moving = false;       // a GC move of this block is in flight
+    std::uint32_t valid = 0;
+    std::uint32_t next_unit = 0;  // allocation cursor while open
+    std::vector<std::uint64_t> bitmap;
+  };
+
+  // A write stream (host or GC) keeps one open block per die and stripes
+  // consecutive allocations round-robin across dies, so programs spread over
+  // the whole array (this is what gives an SSD its write bandwidth).
+  struct WriteStream {
+    std::vector<std::uint32_t> open_block;  // per die; kUnmapped when none
+    int rr = 0;
+  };
+
+  std::uint32_t block_of(std::uint32_t ppn) const { return ppn / units_per_block_; }
+  int die_of_block(std::uint32_t blk) const {
+    return static_cast<int>(blk / blocks_per_die_);
+  }
+  std::uint32_t page_of(std::uint32_t ppn) const { return ppn / units_per_page_; }
+
+  void set_valid(std::uint32_t ppn, std::uint64_t lpn);
+  void clear_valid(std::uint32_t ppn);
+  bool test_valid(std::uint32_t blk, std::uint32_t unit) const;
+
+  // Allocates a stripe on the next die in round-robin order; returns the
+  // first ppn, or kUnmapped when no block is available (caller must wait).
+  std::uint32_t allocate_stripe(WriteStream& stream, bool for_gc);
+  bool open_block_on_die(int die, WriteStream& stream, bool for_gc);
+
+  // Performs the allocation + mapping + program issue; returns false (with
+  // no state mutated) when free space is exhausted and the write must stall.
+  bool try_write(const std::vector<std::uint64_t>& lpns, std::function<void()>& done);
+  // Garbage collection. Fully-invalid ("dead") blocks are tracked eagerly
+  // and erased in a pipeline; victims that still hold valid data are moved
+  // lazily (deferring briefly while the host is actively invalidating), with
+  // a few moves in flight at once so reclaim parallelizes across dies.
+  void note_possibly_dead(std::uint32_t blk_idx);
+  void gc_pump();
+  void start_move();
+  // `programs_left` carries a +1 batch guard across allocation retries; pass
+  // nullptr on first entry.
+  void gc_move_batch(std::vector<std::pair<std::uint64_t, std::uint32_t>> pairs,
+                     std::uint32_t victim_blk, std::shared_ptr<int> programs_left);
+  void issue_erase(std::uint32_t blk_idx);
+  void drain_stalled();
+
+  SsdConfig config_;
+  IssueNand issue_;
+  Defer defer_;
+  Rng rng_;
+  FtlStats stats_;
+
+  std::uint64_t total_lpns_ = 0;
+  std::uint32_t units_per_page_ = 0;
+  std::uint32_t units_per_stripe_ = 0;
+  std::uint32_t units_per_block_ = 0;
+  std::uint32_t blocks_per_die_ = 0;
+  int dies_ = 0;
+
+  std::vector<std::uint32_t> map_;   // lpn -> ppn
+  std::vector<std::uint32_t> rmap_;  // ppn -> lpn (valid only when bit set)
+  std::vector<Block> blocks_;        // global block index = die*blocks_per_die+i
+  std::vector<std::deque<std::uint32_t>> free_lists_;  // per die, block indices
+  std::size_t total_free_blocks_ = 0;
+
+  WriteStream host_stream_;
+  WriteStream gc_stream_;
+
+  std::deque<std::uint32_t> dead_blocks_;
+  int erases_in_flight_ = 0;
+  int moves_in_flight_ = 0;  // concurrent victim moves (parallel across dies)
+  bool gc_defer_armed_ = false;
+  int consecutive_defers_ = 0;
+
+  // Host writes waiting for free space (write cliff back-pressure).
+  std::deque<std::pair<std::vector<std::uint64_t>, std::function<void()>>> stalled_writes_;
+};
+
+}  // namespace pas::ssd

@@ -1,0 +1,146 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace pas {
+namespace {
+
+TEST(LinearHistogram, BinPlacement) {
+  LinearHistogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(9.99);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+  EXPECT_EQ(h.count_in_bin(5), 1u);
+  EXPECT_EQ(h.count_in_bin(9), 1u);
+}
+
+TEST(LinearHistogram, OutOfRangeSaturates) {
+  LinearHistogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+  EXPECT_EQ(h.count_in_bin(9), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(LinearHistogram, BinCenters) {
+  LinearHistogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(LinearHistogram, MaxBinCount) {
+  LinearHistogram h(0.0, 4.0, 4);
+  EXPECT_EQ(h.max_bin_count(), 0u);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(3.0);
+  EXPECT_EQ(h.max_bin_count(), 2u);
+}
+
+TEST(LatencyHistogram, EmptyBehaviour) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.quantile_ns(0.99), 0);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, ExactForSmallValues) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.add(i);
+  EXPECT_EQ(h.min_ns(), 0);
+  EXPECT_EQ(h.max_ns(), 9);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_NEAR(h.mean_ns(), 4.5, 1e-9);
+}
+
+TEST(LatencyHistogram, QuantileRelativeErrorBounded) {
+  // Property: for log-bucketed storage, every quantile of a point mass must
+  // land within the bucket's ~3% relative width.
+  for (std::int64_t v : {100LL, 5'000LL, 123'456LL, 7'000'000LL, 3'000'000'000LL}) {
+    LatencyHistogram h;
+    for (int i = 0; i < 100; ++i) h.add(v);
+    for (double q : {0.0, 0.5, 0.99, 1.0}) {
+      const double got = static_cast<double>(h.quantile_ns(q));
+      EXPECT_NEAR(got, static_cast<double>(v), static_cast<double>(v) * 0.04)
+          << "v=" << v << " q=" << q;
+    }
+  }
+}
+
+TEST(LatencyHistogram, QuantileOrderingOnMixture) {
+  LatencyHistogram h;
+  // 90% fast IOs at ~100us, 10% slow at ~5ms.
+  for (int i = 0; i < 900; ++i) h.add(microseconds(100));
+  for (int i = 0; i < 100; ++i) h.add(milliseconds(5));
+  EXPECT_NEAR(static_cast<double>(h.p50_ns()), 100e3, 5e3);
+  EXPECT_NEAR(static_cast<double>(h.p99_ns()), 5e6, 0.3e6);
+  EXPECT_LE(h.p50_ns(), h.p99_ns());
+  EXPECT_LE(h.p99_ns(), h.p999_ns());
+  EXPECT_LE(h.p999_ns(), h.max_ns());
+}
+
+TEST(LatencyHistogram, MeanIsExact) {
+  LatencyHistogram h;
+  double expect = 0.0;
+  Rng r(9);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = static_cast<std::int64_t>(r.next_below(10'000'000));
+    h.add(v);
+    expect += static_cast<double>(v);
+  }
+  EXPECT_NEAR(h.mean_ns(), expect / n, 1e-6 * expect / n + 1e-9);
+}
+
+TEST(LatencyHistogram, NegativeClampsToZero) {
+  LatencyHistogram h;
+  h.add(-100);
+  EXPECT_EQ(h.min_ns(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(LatencyHistogram, MergeEqualsCombined) {
+  Rng r(10);
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram all;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<std::int64_t>(r.next_below(1'000'000));
+    (i % 3 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min_ns(), all.min_ns());
+  EXPECT_EQ(a.max_ns(), all.max_ns());
+  EXPECT_DOUBLE_EQ(a.mean_ns(), all.mean_ns());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) EXPECT_EQ(a.quantile_ns(q), all.quantile_ns(q));
+}
+
+TEST(LatencyHistogram, QuantilesAgreeWithExactOnUniform) {
+  Rng r(11);
+  LatencyHistogram h;
+  std::vector<std::int64_t> vals;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = static_cast<std::int64_t>(r.next_below(milliseconds(10)));
+    h.add(v);
+    vals.push_back(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const auto exact = static_cast<double>(vals[static_cast<std::size_t>(q * (n - 1))]);
+    EXPECT_NEAR(static_cast<double>(h.quantile_ns(q)), exact, exact * 0.05) << q;
+  }
+}
+
+}  // namespace
+}  // namespace pas

@@ -1,0 +1,57 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace pas {
+namespace {
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"Device", "Power"});
+  t.add_row({"SSD1", "13.5"});
+  t.add_row({"HDD", "5.3"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| Device "), std::string::npos);
+  EXPECT_NE(s.find("| SSD1 "), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.0, 0), "3");
+  EXPECT_EQ(Table::fmt_int(42), "42");
+  EXPECT_EQ(Table::fmt_pct(0.594), "59.4%");
+  EXPECT_EQ(Table::fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Table, MismatchedRowAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(AsciiBar, Scales) {
+  EXPECT_EQ(ascii_bar(0.0, 10.0, 10), "");
+  EXPECT_EQ(ascii_bar(10.0, 10.0, 10), "##########");
+  EXPECT_EQ(ascii_bar(5.0, 10.0, 10), "#####");
+  // Values above max clamp to full width.
+  EXPECT_EQ(ascii_bar(20.0, 10.0, 10), "##########");
+}
+
+TEST(AsciiBar, DegenerateMax) { EXPECT_EQ(ascii_bar(1.0, 0.0, 10), ""); }
+
+}  // namespace
+}  // namespace pas

@@ -1,0 +1,67 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace pas {
+namespace {
+
+TEST(Zipf, RanksInRange) {
+  Rng rng(1);
+  ZipfGenerator z(1000);
+  for (int i = 0; i < 100000; ++i) ASSERT_LT(z.next(rng), 1000u);
+}
+
+TEST(Zipf, SingletonAlwaysZero) {
+  Rng rng(2);
+  ZipfGenerator z(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.next(rng), 0u);
+}
+
+TEST(Zipf, HeadDominates) {
+  // With theta=0.99 over 10k items, the top item should take a few percent
+  // of all draws and the top-10 a large multiple of a uniform share.
+  Rng rng(3);
+  ZipfGenerator z(10000, 0.99);
+  std::map<std::uint64_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.next(rng)];
+  int top10 = 0;
+  for (std::uint64_t r = 0; r < 10; ++r) top10 += counts[r];
+  const double top10_frac = static_cast<double>(top10) / n;
+  EXPECT_GT(top10_frac, 0.15);                    // uniform share would be 0.1%
+  EXPECT_GT(counts[0], counts[100] * 5);          // strong head skew
+}
+
+TEST(Zipf, MonotoneRankProbability) {
+  Rng rng(4);
+  ZipfGenerator z(100, 0.9);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 300000; ++i) ++counts[z.next(rng)];
+  // Smoothed monotonicity: decile sums must decrease.
+  int prev = 1 << 30;
+  for (int d = 0; d < 10; ++d) {
+    int sum = 0;
+    for (int i = d * 10; i < (d + 1) * 10; ++i) sum += counts[i];
+    EXPECT_LT(sum, prev) << "decile " << d;
+    prev = sum;
+  }
+}
+
+TEST(Zipf, DeterministicUnderSeed) {
+  ZipfGenerator z(5000);
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(z.next(a), z.next(b));
+}
+
+TEST(Zipf, InvalidParamsAbort) {
+  EXPECT_DEATH(ZipfGenerator(0), "");
+  EXPECT_DEATH(ZipfGenerator(10, 0.0), "");
+  EXPECT_DEATH(ZipfGenerator(10, 1.0), "");
+}
+
+}  // namespace
+}  // namespace pas

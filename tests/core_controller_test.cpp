@@ -1,0 +1,161 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "devices/specs.h"
+#include "sim/simulator.h"
+
+namespace pas::core {
+namespace {
+
+model::ExperimentPoint option(int ps, double watts, double mib_s) {
+  model::ExperimentPoint p;
+  p.power_state = ps;
+  p.workload = "randwrite";
+  p.chunk_bytes = 256 * 1024;
+  p.queue_depth = 64;
+  p.avg_power_w = watts;
+  p.throughput_mib_s = mib_s;
+  return p;
+}
+
+// A fleet of two SSD2-class devices and one HDD, with synthetic measured
+// options roughly matching the calibrated devices.
+struct ControllerFixture {
+  sim::Simulator sim;
+  devices::DeviceHandle ssd_a = devices::make_handle(devices::DeviceId::kSsd2, sim, 1);
+  devices::DeviceHandle ssd_b = devices::make_handle(devices::DeviceId::kSsd2, sim, 2);
+  devices::DeviceHandle hdd = devices::make_handle(devices::DeviceId::kHdd, sim, 3);
+
+  PowerAdaptiveController make_controller() {
+    std::vector<ManagedDevice> fleet;
+    for (auto* h : {&ssd_a, &ssd_b}) {
+      ManagedDevice d;
+      d.name = h == &ssd_a ? "ssd_a" : "ssd_b";
+      d.device = h->device.get();
+      d.pm = h->pm;
+      d.options = {option(0, 15.0, 3100.0), option(1, 12.0, 2300.0), option(2, 10.0, 1650.0)};
+      fleet.push_back(std::move(d));
+    }
+    ManagedDevice d;
+    d.name = "hdd";
+    d.device = hdd.device.get();
+    d.pm = hdd.pm;
+    d.options = {option(0, 4.2, 180.0)};
+    d.supports_standby = true;
+    d.standby_power_w = 1.05;
+    fleet.push_back(std::move(d));
+    return PowerAdaptiveController(std::move(fleet));
+  }
+};
+
+TEST(PowerAdaptiveController, FullBudgetRunsEverythingAtPs0) {
+  ControllerFixture f;
+  auto ctl = f.make_controller();
+  const auto plan = ctl.set_power_budget(100.0);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->size(), 3u);
+  EXPECT_EQ((*plan)[0].power_state, 0);
+  EXPECT_EQ((*plan)[1].power_state, 0);
+  EXPECT_FALSE((*plan)[2].standby);
+  EXPECT_NEAR(ctl.planned_power(), 15.0 + 15.0 + 4.2, 1e-9);
+  EXPECT_EQ(f.ssd_a.pm->power_state(), 0);
+}
+
+TEST(PowerAdaptiveController, TightBudgetAppliesPowerStates) {
+  ControllerFixture f;
+  auto ctl = f.make_controller();
+  // 26 W: e.g. both SSDs at ps2 (20) + HDD active (4.2).
+  const auto plan = ctl.set_power_budget(26.0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_LE(ctl.planned_power(), 26.0 + 1e-9);
+  // The power states were really applied through the admin path.
+  int total_ps = f.ssd_a.pm->power_state() + f.ssd_b.pm->power_state();
+  EXPECT_GT(total_ps, 0);
+}
+
+TEST(PowerAdaptiveController, VeryTightBudgetParksHdd) {
+  ControllerFixture f;
+  auto ctl = f.make_controller();
+  const auto plan = ctl.set_power_budget(21.5);  // 2x ps2 + standby HDD
+  ASSERT_TRUE(plan.has_value());
+  bool hdd_standby = false;
+  for (const auto& cfg : *plan) {
+    if (cfg.device == "hdd") hdd_standby = cfg.standby;
+  }
+  EXPECT_TRUE(hdd_standby);
+  f.sim.run_until(seconds(10));
+  EXPECT_EQ(f.hdd.pm->ata_power_mode(), sim::AtaPowerMode::kStandby);
+  EXPECT_NEAR(f.hdd.device->instantaneous_power(), 1.05, 1e-9);
+}
+
+TEST(PowerAdaptiveController, BudgetBelowFloorIsRejected) {
+  ControllerFixture f;
+  auto ctl = f.make_controller();
+  EXPECT_FALSE(ctl.set_power_budget(5.0).has_value());
+}
+
+TEST(PowerAdaptiveController, RecoveryWakesParkedDevices) {
+  ControllerFixture f;
+  auto ctl = f.make_controller();
+  ASSERT_TRUE(ctl.set_power_budget(21.5).has_value());
+  f.sim.run_until(seconds(10));
+  ASSERT_EQ(f.hdd.pm->ata_power_mode(), sim::AtaPowerMode::kStandby);
+  // Budget restored: the HDD spins back up.
+  ASSERT_TRUE(ctl.set_power_budget(100.0).has_value());
+  f.sim.run_until(seconds(30));
+  EXPECT_EQ(f.hdd.pm->ata_power_mode(), sim::AtaPowerMode::kActiveIdle);
+}
+
+TEST(PowerAdaptiveController, RoutingSkipsParkedDevices) {
+  ControllerFixture f;
+  auto ctl = f.make_controller();
+  ASSERT_TRUE(ctl.set_power_budget(21.5).has_value());  // HDD parked
+  EXPECT_EQ(ctl.active_devices().size(), 2u);
+  for (int i = 0; i < 10; ++i) {
+    sim::BlockDevice* dev = ctl.route_read();
+    ASSERT_NE(dev, nullptr);
+    EXPECT_NE(dev, f.hdd.device.get());
+  }
+}
+
+TEST(PowerAdaptiveController, ReadRoutingRoundRobins) {
+  ControllerFixture f;
+  auto ctl = f.make_controller();
+  ASSERT_TRUE(ctl.set_power_budget(100.0).has_value());
+  sim::BlockDevice* first = ctl.route_read();
+  sim::BlockDevice* second = ctl.route_read();
+  sim::BlockDevice* third = ctl.route_read();
+  sim::BlockDevice* fourth = ctl.route_read();
+  EXPECT_NE(first, second);
+  EXPECT_EQ(first, fourth == first ? fourth : first);  // cycles through all three
+  EXPECT_NE(second, third);
+}
+
+TEST(PowerAdaptiveController, WriteSegregationRestrictsTargets) {
+  ControllerFixture f;
+  auto ctl = f.make_controller();
+  ASSERT_TRUE(ctl.set_power_budget(100.0).has_value());
+  ctl.segregate_writes(1);
+  sim::BlockDevice* only = ctl.route_write();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(ctl.route_write(), only);
+  // Reads still spread across all active devices.
+  std::set<sim::BlockDevice*> readers;
+  for (int i = 0; i < 9; ++i) readers.insert(ctl.route_read());
+  EXPECT_EQ(readers.size(), 3u);
+  // Disable segregation: writes spread again.
+  ctl.segregate_writes(0);
+  std::set<sim::BlockDevice*> writers;
+  for (int i = 0; i < 9; ++i) writers.insert(ctl.route_write());
+  EXPECT_EQ(writers.size(), 3u);
+}
+
+TEST(PowerAdaptiveController, MeasuredPowerTracksFleet) {
+  ControllerFixture f;
+  auto ctl = f.make_controller();
+  // All devices idle: 5 + 5 + 3.76.
+  EXPECT_NEAR(ctl.measured_power(), 13.76, 1e-6);
+}
+
+}  // namespace
+}  // namespace pas::core

@@ -1,0 +1,189 @@
+// Section 4.1 deployment-safety scenarios: breaker-protected power domains
+// and the paper's guidance that power-adaptive test deployments should be
+// distributed across domains so coordinated control failures can't overwhelm
+// a single breaker.
+#include "core/domains.h"
+
+#include <gtest/gtest.h>
+
+#include "devices/specs.h"
+#include "devmgmt/admin.h"
+#include "iogen/engine.h"
+#include "sim/simulator.h"
+#include "ssd/device.h"
+
+namespace pas::core {
+namespace {
+
+TEST(PowerDomain, AggregatesHierarchy) {
+  sim::Simulator sim;
+  auto a = devices::make_ssd(devices::DeviceId::kSsd2, sim, 1);  // idle 5 W
+  auto b = devices::make_ssd(devices::DeviceId::kSsd1, sim, 2);  // idle 3.5 W
+  auto c = devices::make_hdd(sim);                               // idle 3.76 W
+
+  PowerDomain rack("rack", 1000.0);
+  PowerDomain* shelf1 = rack.add_subdomain("shelf1", 100.0);
+  PowerDomain* shelf2 = rack.add_subdomain("shelf2", 100.0);
+  shelf1->attach(a.get());
+  shelf1->attach(b.get());
+  shelf2->attach(c.get());
+
+  EXPECT_NEAR(shelf1->draw(), 8.5, 1e-9);
+  EXPECT_NEAR(shelf2->draw(), 3.76, 1e-9);
+  EXPECT_NEAR(rack.draw(), 12.26, 1e-9);
+}
+
+TEST(PowerDomain, TripCutsSubtreeDraw) {
+  sim::Simulator sim;
+  auto a = devices::make_ssd(devices::DeviceId::kSsd2, sim, 1);
+  PowerDomain rack("rack", 100.0);
+  PowerDomain* shelf = rack.add_subdomain("shelf", 10.0);
+  shelf->attach(a.get());
+  EXPECT_NEAR(rack.draw(), 5.0, 1e-9);
+  shelf->trip();
+  EXPECT_FALSE(shelf->powered());
+  EXPECT_NEAR(rack.draw(), 0.0, 1e-9);
+  shelf->reset();
+  EXPECT_NEAR(rack.draw(), 5.0, 1e-9);
+}
+
+TEST(PowerDomain, FindDomainOfDevice) {
+  sim::Simulator sim;
+  auto a = devices::make_ssd(devices::DeviceId::kSsd2, sim, 1);
+  auto b = devices::make_ssd(devices::DeviceId::kSsd2, sim, 2);
+  PowerDomain rack("rack", 100.0);
+  PowerDomain* s1 = rack.add_subdomain("s1", 50.0);
+  PowerDomain* s2 = rack.add_subdomain("s2", 50.0);
+  s1->attach(a.get());
+  s2->attach(b.get());
+  EXPECT_EQ(rack.find_domain_of(a.get()), s1);
+  EXPECT_EQ(rack.find_domain_of(b.get()), s2);
+  sim::Simulator other_sim;
+  auto stranger = devices::make_ssd(devices::DeviceId::kSsd2, other_sim, 3);
+  EXPECT_EQ(rack.find_domain_of(stranger.get()), nullptr);
+}
+
+TEST(BreakerMonitor, TripsOnSustainedOverloadOnly) {
+  sim::Simulator sim;
+  auto ssd = devices::make_ssd(devices::DeviceId::kSsd2, sim, 1);
+  PowerDomain shelf("shelf", 10.0);  // idle 5 W, active write ~15 W > 10 W
+  shelf.attach(ssd.get());
+  BreakerMonitor monitor(sim, shelf, milliseconds(10), milliseconds(500));
+  int alerts = 0;
+  monitor.set_trip_listener([&](const PowerDomain&) { ++alerts; });
+  monitor.start();
+
+  // Idle for a second: no trip.
+  sim.run_until(seconds(1));
+  EXPECT_FALSE(shelf.tripped());
+
+  // Sustained heavy write pushes the shelf over its 10 W rating.
+  iogen::JobSpec spec;
+  spec.pattern = iogen::Pattern::kSequential;
+  spec.op = iogen::OpKind::kWrite;
+  spec.block_bytes = 256 * KiB;
+  spec.iodepth = 64;
+  spec.io_limit_bytes = 8 * GiB;
+  spec.time_limit = seconds(5);
+  iogen::IoEngine engine(sim, *ssd, spec);
+  engine.start(nullptr);
+  sim.run_until(seconds(3));
+  EXPECT_TRUE(shelf.tripped());
+  EXPECT_EQ(alerts, 1);
+  EXPECT_EQ(monitor.trips(), 1);
+  monitor.stop();
+}
+
+TEST(BreakerMonitor, BriefSpikeWithinGraceDoesNotTrip) {
+  sim::Simulator sim;
+  auto ssd = devices::make_ssd(devices::DeviceId::kSsd2, sim, 1);
+  PowerDomain shelf("shelf", 10.0);
+  shelf.attach(ssd.get());
+  BreakerMonitor monitor(sim, shelf, milliseconds(10), seconds(2));
+  monitor.start();
+  // A 300 ms write burst exceeds 10 W but ends inside the 2 s grace window.
+  iogen::JobSpec spec;
+  spec.pattern = iogen::Pattern::kSequential;
+  spec.op = iogen::OpKind::kWrite;
+  spec.block_bytes = 256 * KiB;
+  spec.iodepth = 64;
+  spec.io_limit_bytes = 64ULL * GiB;
+  spec.time_limit = milliseconds(300);
+  iogen::IoEngine engine(sim, *ssd, spec);
+  engine.start(nullptr);
+  sim.run_until(seconds(5));
+  EXPECT_FALSE(shelf.tripped());
+  monitor.stop();
+}
+
+// The paper's section 4.1 guidance, as an executable scenario: two shelves,
+// each with two power-adaptive SSDs that SHOULD be capped to ps2 during a
+// power emergency. A buggy controller leaves its devices at ps0 under full
+// write load. If both buggy deployments share a shelf, that shelf's breaker
+// trips; distributed across shelves, each shelf stays within its rating.
+struct DeploymentFixture {
+  sim::Simulator sim;
+  std::vector<devices::DeviceHandle> ssds;
+  PowerDomain rack{"rack", 1000.0};
+  PowerDomain* shelf_a = rack.add_subdomain("shelf_a", 26.0);
+  PowerDomain* shelf_b = rack.add_subdomain("shelf_b", 26.0);
+  std::vector<std::unique_ptr<iogen::IoEngine>> engines;
+
+  // placement[i] = shelf for device i; buggy[i] = controller failed to cap.
+  void deploy(const std::vector<PowerDomain*>& placement, const std::vector<bool>& buggy) {
+    for (std::size_t i = 0; i < placement.size(); ++i) {
+      ssds.push_back(devices::make_handle(devices::DeviceId::kSsd2, sim, 10 + i));
+      placement[i]->attach(ssds.back().device.get());
+      // The power emergency: every controller is told to enter ps2 (10 W);
+      // buggy ones silently fail (paper: "failures of deployments to reduce
+      // power").
+      if (!buggy[i]) {
+        devmgmt::NvmeAdmin(*ssds.back().pm).set_power_state(2);
+      }
+      iogen::JobSpec spec;
+      spec.pattern = iogen::Pattern::kSequential;
+      spec.op = iogen::OpKind::kWrite;
+      spec.block_bytes = 256 * KiB;
+      spec.iodepth = 64;
+      spec.io_limit_bytes = 64ULL * GiB;
+      spec.time_limit = seconds(4);
+      spec.seed = 100 + i;
+      engines.push_back(std::make_unique<iogen::IoEngine>(sim, *ssds.back().device, spec));
+      engines.back()->start(nullptr);
+    }
+  }
+};
+
+TEST(DeploymentSafety, CoordinatedFailureInOneDomainTripsIt) {
+  DeploymentFixture f;
+  // Both buggy deployments concentrated on shelf_a: 2 x ~15 W > 26 W rating.
+  f.deploy({f.shelf_a, f.shelf_a, f.shelf_b, f.shelf_b}, {true, true, false, false});
+  BreakerMonitor mon_a(f.sim, *f.shelf_a, milliseconds(10), milliseconds(500));
+  BreakerMonitor mon_b(f.sim, *f.shelf_b, milliseconds(10), milliseconds(500));
+  mon_a.start();
+  mon_b.start();
+  f.sim.run_until(seconds(3));
+  EXPECT_TRUE(f.shelf_a->tripped());   // blast radius: one shelf
+  EXPECT_FALSE(f.shelf_b->tripped());  // capped shelf unaffected
+  mon_a.stop();
+  mon_b.stop();
+}
+
+TEST(DeploymentSafety, DistributedDeploymentsSurviveTheSameFailure) {
+  DeploymentFixture f;
+  // Same two buggy deployments, distributed: each shelf holds one buggy
+  // (~15 W) + one capped (~10 W) device: 25 W < 26 W rating.
+  f.deploy({f.shelf_a, f.shelf_b, f.shelf_a, f.shelf_b}, {true, true, false, false});
+  BreakerMonitor mon_a(f.sim, *f.shelf_a, milliseconds(10), milliseconds(500));
+  BreakerMonitor mon_b(f.sim, *f.shelf_b, milliseconds(10), milliseconds(500));
+  mon_a.start();
+  mon_b.start();
+  f.sim.run_until(seconds(3));
+  EXPECT_FALSE(f.shelf_a->tripped());
+  EXPECT_FALSE(f.shelf_b->tripped());
+  mon_a.stop();
+  mon_b.stop();
+}
+
+}  // namespace
+}  // namespace pas::core

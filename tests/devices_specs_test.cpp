@@ -1,0 +1,101 @@
+#include "devices/specs.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace pas::devices {
+namespace {
+
+TEST(Specs, LabelsAndModels) {
+  EXPECT_STREQ(label(DeviceId::kSsd1), "SSD1");
+  EXPECT_STREQ(label(DeviceId::kHdd), "HDD");
+  EXPECT_STREQ(model_name(DeviceId::kSsd1), "Samsung PM9A3");
+  EXPECT_STREQ(model_name(DeviceId::kSsd2), "Intel D7-P5510");
+  EXPECT_STREQ(model_name(DeviceId::kSsd3), "Intel D3-P4510");
+  EXPECT_STREQ(model_name(DeviceId::kHdd), "Seagate Exos 7E2000");
+}
+
+TEST(Specs, PaperDeviceListHasTableOneEntries) {
+  ASSERT_EQ(std::size(kPaperDevices), 4u);
+  EXPECT_EQ(kPaperDevices[0], DeviceId::kSsd1);
+  EXPECT_EQ(kPaperDevices[3], DeviceId::kHdd);
+}
+
+TEST(Specs, IdleFloorsMatchTableOneMinima) {
+  // Table 1 lower bounds: SSD1 3.5 W, SSD2 5 W, SSD3 1 W; HDD standby ~1 W.
+  const auto s1 = ssd1_pm9a3();
+  EXPECT_NEAR(s1.p_ctrl_static_w + s1.p_link_idle_w, 3.5, 1e-9);
+  const auto s2 = ssd2_p5510();
+  EXPECT_NEAR(s2.p_ctrl_static_w + s2.p_link_idle_w, 5.0, 1e-9);
+  const auto s3 = ssd3_p4510();
+  EXPECT_NEAR(s3.p_ctrl_static_w + s3.p_link_idle_w, 1.0, 1e-9);
+  EXPECT_NEAR(hdd_exos_7e2000().p_standby_w, 1.05, 1e-9);
+}
+
+TEST(Specs, Ssd2PowerStatesMatchSection321) {
+  const auto c = ssd2_p5510();
+  ASSERT_EQ(c.power_states.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.power_states[0].cap_w, 25.0);
+  EXPECT_DOUBLE_EQ(c.power_states[1].cap_w, 12.0);
+  EXPECT_DOUBLE_EQ(c.power_states[2].cap_w, 10.0);
+}
+
+TEST(Specs, EvoMatchesSection322) {
+  const auto c = evo860();
+  EXPECT_TRUE(c.alpm_supported);
+  EXPECT_NEAR(c.p_ctrl_static_w + c.p_link_idle_w, 0.35, 1e-9);
+  EXPECT_NEAR(c.p_ctrl_slumber_w + c.p_link_slumber_w, 0.17, 1e-9);
+  // "the EVO transitions within 0.5 seconds"
+  EXPECT_LE(c.alpm_entry_time, milliseconds(500));
+  EXPECT_LE(c.alpm_exit_time, milliseconds(500));
+}
+
+TEST(Specs, RailVoltages) {
+  EXPECT_DOUBLE_EQ(rail_voltage(DeviceId::kSsd1), 12.0);
+  EXPECT_DOUBLE_EQ(rail_voltage(DeviceId::kSsd3), 5.0);
+  EXPECT_DOUBLE_EQ(rail_voltage(DeviceId::kEvo860), 5.0);
+  EXPECT_DOUBLE_EQ(rig_for(DeviceId::kHdd).rail_voltage_v, 12.0);
+}
+
+TEST(Specs, MakeDeviceConstructsEveryId) {
+  sim::Simulator sim;
+  for (DeviceId id : {DeviceId::kSsd1, DeviceId::kSsd2, DeviceId::kSsd3, DeviceId::kHdd,
+                      DeviceId::kEvo860}) {
+    auto dev = make_device(id, sim, 1);
+    ASSERT_NE(dev, nullptr);
+    EXPECT_GT(dev->capacity_bytes(), 0u);
+    EXPECT_GT(dev->instantaneous_power(), 0.0);
+  }
+}
+
+TEST(Specs, MakeHandleWiresControlSurfaces) {
+  sim::Simulator sim;
+  auto ssd = make_handle(DeviceId::kSsd2, sim, 1);
+  EXPECT_NE(ssd.ssd, nullptr);
+  EXPECT_EQ(ssd.hdd, nullptr);
+  EXPECT_EQ(ssd.pm->power_state_count(), 3);
+  auto hdd = make_handle(DeviceId::kHdd, sim, 1);
+  EXPECT_EQ(hdd.ssd, nullptr);
+  EXPECT_NE(hdd.hdd, nullptr);
+  EXPECT_TRUE(hdd.pm->supports_standby());
+}
+
+TEST(Specs, NandBandwidthExceedsNoLinkStarvation) {
+  // Each SSD's NAND program bandwidth must be able to keep up with (most of)
+  // its host link, or sequential writes could never approach the measured
+  // maxima the specs were calibrated against.
+  for (const auto& cfg : {ssd1_pm9a3(), ssd2_p5510(), ssd3_p4510()}) {
+    const auto& n = cfg.nand;
+    const double stripe_s = to_seconds(n.t_program) +
+                            static_cast<double>(n.stripe_bytes()) /
+                                (n.channel_mib_s * static_cast<double>(MiB));
+    const double nand_mib_s =
+        n.total_dies() * (static_cast<double>(n.stripe_bytes()) / static_cast<double>(MiB)) /
+        stripe_s;
+    EXPECT_GT(nand_mib_s, cfg.link_mib_s * 0.9) << cfg.name;
+  }
+}
+
+}  // namespace
+}  // namespace pas::devices

@@ -1,0 +1,95 @@
+#include "devmgmt/admin.h"
+
+#include <gtest/gtest.h>
+
+#include "devices/specs.h"
+#include "hdd/device.h"
+#include "sim/simulator.h"
+#include "ssd/device.h"
+
+namespace pas::devmgmt {
+namespace {
+
+TEST(NvmeAdmin, IdentifyReportsPowerStateDescriptors) {
+  sim::Simulator sim;
+  ssd::SsdDevice dev(sim, devices::ssd2_p5510(), 1);
+  NvmeAdmin admin(dev);
+  const auto table = admin.identify_power_states();
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_EQ(table[0].index, 0);
+  EXPECT_DOUBLE_EQ(table[1].max_power_w, 12.0);
+  EXPECT_TRUE(table[0].operational);
+}
+
+TEST(NvmeAdmin, SetAndGetPowerState) {
+  sim::Simulator sim;
+  ssd::SsdDevice dev(sim, devices::ssd2_p5510(), 1);
+  NvmeAdmin admin(dev);
+  EXPECT_EQ(admin.get_power_state(), 0);
+  EXPECT_EQ(admin.set_power_state(2), AdminStatus::kSuccess);
+  EXPECT_EQ(admin.get_power_state(), 2);
+  EXPECT_EQ(dev.power_state(), 2);
+}
+
+TEST(NvmeAdmin, RejectsOutOfRangeState) {
+  sim::Simulator sim;
+  ssd::SsdDevice dev(sim, devices::ssd2_p5510(), 1);
+  NvmeAdmin admin(dev);
+  EXPECT_EQ(admin.set_power_state(3), AdminStatus::kInvalidField);
+  EXPECT_EQ(admin.set_power_state(-1), AdminStatus::kInvalidField);
+  EXPECT_EQ(admin.get_power_state(), 0);  // unchanged
+}
+
+TEST(NvmeAdmin, SingleStateDeviceAcceptsOnlyZero) {
+  sim::Simulator sim;
+  ssd::SsdDevice dev(sim, devices::ssd3_p4510(), 1);
+  NvmeAdmin admin(dev);
+  EXPECT_EQ(admin.set_power_state(0), AdminStatus::kSuccess);
+  EXPECT_EQ(admin.set_power_state(1), AdminStatus::kInvalidField);
+}
+
+TEST(SataAlpm, SlumberOnSupportedDevice) {
+  sim::Simulator sim;
+  ssd::SsdDevice dev(sim, devices::evo860(), 1);
+  SataAlpm alpm(dev);
+  EXPECT_EQ(alpm.set_link_pm(sim::LinkPmState::kSlumber), AdminStatus::kSuccess);
+  sim.run_until(seconds(1));
+  EXPECT_EQ(alpm.link_pm(), sim::LinkPmState::kSlumber);
+}
+
+TEST(SataAlpm, UnsupportedOnEnterpriseNvme) {
+  sim::Simulator sim;
+  ssd::SsdDevice dev(sim, devices::ssd1_pm9a3(), 1);
+  SataAlpm alpm(dev);
+  EXPECT_EQ(alpm.set_link_pm(sim::LinkPmState::kSlumber), AdminStatus::kUnsupportedFeature);
+}
+
+TEST(SataAlpm, StandbyImmediateOnHdd) {
+  sim::Simulator sim;
+  hdd::HddDevice dev(sim, devices::hdd_exos_7e2000());
+  SataAlpm alpm(dev);
+  EXPECT_EQ(alpm.check_power_mode(), sim::AtaPowerMode::kActiveIdle);
+  EXPECT_EQ(alpm.standby_immediate(), AdminStatus::kSuccess);
+  sim.run_until(seconds(5));
+  EXPECT_EQ(alpm.check_power_mode(), sim::AtaPowerMode::kStandby);
+  EXPECT_EQ(alpm.spin_up(), AdminStatus::kSuccess);
+  sim.run_until(seconds(20));
+  EXPECT_EQ(alpm.check_power_mode(), sim::AtaPowerMode::kActiveIdle);
+}
+
+TEST(SataAlpm, StandbyUnsupportedOnSsdWithoutIt) {
+  sim::Simulator sim;
+  ssd::SsdDevice dev(sim, devices::ssd2_p5510(), 1);
+  SataAlpm alpm(dev);
+  EXPECT_EQ(alpm.standby_immediate(), AdminStatus::kUnsupportedFeature);
+  EXPECT_EQ(alpm.spin_up(), AdminStatus::kUnsupportedFeature);
+}
+
+TEST(AdminStatus, ToString) {
+  EXPECT_STREQ(to_string(AdminStatus::kSuccess), "success");
+  EXPECT_STREQ(to_string(AdminStatus::kInvalidField), "invalid field");
+  EXPECT_STREQ(to_string(AdminStatus::kUnsupportedFeature), "unsupported feature");
+}
+
+}  // namespace
+}  // namespace pas::devmgmt

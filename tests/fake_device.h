@@ -1,0 +1,51 @@
+// Test double: a block device with directly controllable power draw and a
+// trivial fixed-latency IO path. Used to exercise the measurement rig and IO
+// engine independently of the real device models.
+#pragma once
+
+#include <string>
+
+#include "power/energy_meter.h"
+#include "sim/block_device.h"
+#include "sim/simulator.h"
+
+namespace pas::testing {
+
+class FakePowerDevice : public sim::BlockDevice {
+ public:
+  FakePowerDevice(sim::Simulator& sim, Watts initial_power = 0.0,
+                  TimeNs io_latency = microseconds(100))
+      : sim_(sim), meter_(sim.now(), initial_power), io_latency_(io_latency) {}
+
+  void set_power(Watts w) { meter_.set_power(sim_.now(), w); }
+  void set_io_latency(TimeNs l) { io_latency_ = l; }
+
+  const std::string& name() const override { return name_; }
+  std::uint64_t capacity_bytes() const override { return 1ULL << 40; }
+  std::uint32_t sector_bytes() const override { return 4096; }
+
+  void submit(const sim::IoRequest& req, sim::IoCallback done) override {
+    ++submitted_;
+    const TimeNs t0 = sim_.now();
+    sim_.schedule_after(io_latency_, [this, req, t0, done = std::move(done)] {
+      ++completed_;
+      done(sim::IoCompletion{req, t0, sim_.now()});
+    });
+  }
+
+  Watts instantaneous_power() const override { return meter_.power(); }
+  Joules consumed_energy() const override { return meter_.energy_at(sim_.now()); }
+
+  int submitted() const { return submitted_; }
+  int completed() const { return completed_; }
+
+ private:
+  sim::Simulator& sim_;
+  power::EnergyMeter meter_;
+  TimeNs io_latency_;
+  std::string name_ = "fake";
+  int submitted_ = 0;
+  int completed_ = 0;
+};
+
+}  // namespace pas::testing

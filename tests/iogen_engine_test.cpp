@@ -1,0 +1,303 @@
+#include "iogen/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "fake_device.h"
+#include "sim/simulator.h"
+
+namespace pas::iogen {
+namespace {
+
+using testing::FakePowerDevice;
+
+JobSpec basic_spec() {
+  JobSpec s;
+  s.pattern = Pattern::kSequential;
+  s.op = OpKind::kRead;
+  s.block_bytes = 4096;
+  s.iodepth = 1;
+  s.region_bytes = 1 * GiB;
+  s.io_limit_bytes = 1 * MiB;
+  s.time_limit = seconds(60);
+  return s;
+}
+
+TEST(IoEngine, IssuesExactlyTheByteLimit) {
+  sim::Simulator sim;
+  FakePowerDevice dev(sim);
+  const JobResult r = run_job(sim, dev, basic_spec());
+  EXPECT_EQ(r.bytes, 1 * MiB);
+  EXPECT_EQ(r.ios, 256u);
+}
+
+TEST(IoEngine, TimeLimitStopsLongJobs) {
+  sim::Simulator sim;
+  FakePowerDevice dev(sim, 0.0, milliseconds(10));  // slow device
+  JobSpec s = basic_spec();
+  s.time_limit = milliseconds(100);
+  s.io_limit_bytes = 4 * GiB;
+  const JobResult r = run_job(sim, dev, s);
+  // ~10 IOs of 10 ms each in a 100 ms budget (+1 straggler).
+  EXPECT_GE(r.ios, 9u);
+  EXPECT_LE(r.ios, 12u);
+}
+
+TEST(IoEngine, MaintainsQueueDepth) {
+  sim::Simulator sim;
+  FakePowerDevice dev(sim);
+  JobSpec s = basic_spec();
+  s.iodepth = 16;
+  IoEngine engine(sim, dev, s);
+  bool done = false;
+  engine.start([&] { done = true; });
+  int max_inflight = 0;
+  while (!done && sim.step()) max_inflight = std::max(max_inflight, engine.in_flight());
+  EXPECT_EQ(max_inflight, 16);
+}
+
+TEST(IoEngine, SequentialOffsetsAreContiguous) {
+  sim::Simulator sim;
+  FakePowerDevice dev(sim);
+  std::vector<std::uint64_t> offsets;
+  // Intercept offsets via a wrapper device.
+  class Recorder : public sim::BlockDevice {
+   public:
+    Recorder(sim::BlockDevice& inner, std::vector<std::uint64_t>& log)
+        : inner_(inner), log_(log) {}
+    const std::string& name() const override { return inner_.name(); }
+    std::uint64_t capacity_bytes() const override { return inner_.capacity_bytes(); }
+    std::uint32_t sector_bytes() const override { return inner_.sector_bytes(); }
+    void submit(const sim::IoRequest& req, sim::IoCallback done) override {
+      log_.push_back(req.offset);
+      inner_.submit(req, std::move(done));
+    }
+    Watts instantaneous_power() const override { return inner_.instantaneous_power(); }
+    Joules consumed_energy() const override { return inner_.consumed_energy(); }
+
+   private:
+    sim::BlockDevice& inner_;
+    std::vector<std::uint64_t>& log_;
+  };
+  Recorder rec(dev, offsets);
+  JobSpec s = basic_spec();
+  s.io_limit_bytes = 64 * KiB;
+  run_job(sim, rec, s);
+  ASSERT_EQ(offsets.size(), 16u);
+  for (std::size_t i = 0; i < offsets.size(); ++i) EXPECT_EQ(offsets[i], i * 4096);
+}
+
+TEST(IoEngine, SequentialWrapsAtRegionEnd) {
+  sim::Simulator sim;
+  FakePowerDevice dev(sim);
+  JobSpec s = basic_spec();
+  s.region_bytes = 32 * KiB;  // 8 blocks
+  s.io_limit_bytes = 64 * KiB;  // 16 IOs -> wraps once
+  const JobResult r = run_job(sim, dev, s);
+  EXPECT_EQ(r.ios, 16u);
+}
+
+TEST(IoEngine, RandomOffsetsStayInRegion) {
+  sim::Simulator sim;
+  FakePowerDevice dev(sim);
+  class Checker : public sim::BlockDevice {
+   public:
+    Checker(sim::BlockDevice& inner, std::uint64_t lo, std::uint64_t hi)
+        : inner_(inner), lo_(lo), hi_(hi) {}
+    const std::string& name() const override { return inner_.name(); }
+    std::uint64_t capacity_bytes() const override { return inner_.capacity_bytes(); }
+    std::uint32_t sector_bytes() const override { return inner_.sector_bytes(); }
+    void submit(const sim::IoRequest& req, sim::IoCallback done) override {
+      EXPECT_GE(req.offset, lo_);
+      EXPECT_LT(req.offset + req.bytes, hi_ + 1);
+      EXPECT_EQ(req.offset % 4096, 0u);
+      inner_.submit(req, std::move(done));
+    }
+    Watts instantaneous_power() const override { return inner_.instantaneous_power(); }
+    Joules consumed_energy() const override { return inner_.consumed_energy(); }
+
+   private:
+    sim::BlockDevice& inner_;
+    std::uint64_t lo_;
+    std::uint64_t hi_;
+  };
+  JobSpec s = basic_spec();
+  s.pattern = Pattern::kRandom;
+  s.region_offset = 1 * GiB;
+  s.region_bytes = 64 * MiB;
+  s.io_limit_bytes = 1 * MiB;
+  Checker check(dev, 1 * GiB, 1 * GiB + 64 * MiB);
+  run_job(sim, check, s);
+}
+
+TEST(IoEngine, RandomIsDeterministicPerSeed) {
+  auto collect = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    FakePowerDevice dev(sim);
+    std::vector<std::uint64_t> offsets;
+    class Rec : public sim::BlockDevice {
+     public:
+      Rec(sim::BlockDevice& inner, std::vector<std::uint64_t>& log) : inner_(inner), log_(log) {}
+      const std::string& name() const override { return inner_.name(); }
+      std::uint64_t capacity_bytes() const override { return inner_.capacity_bytes(); }
+      std::uint32_t sector_bytes() const override { return inner_.sector_bytes(); }
+      void submit(const sim::IoRequest& req, sim::IoCallback done) override {
+        log_.push_back(req.offset);
+        inner_.submit(req, std::move(done));
+      }
+      Watts instantaneous_power() const override { return 0.0; }
+      Joules consumed_energy() const override { return 0.0; }
+
+     private:
+      sim::BlockDevice& inner_;
+      std::vector<std::uint64_t>& log_;
+    } rec(dev, offsets);
+    JobSpec s;
+    s.pattern = Pattern::kRandom;
+    s.op = OpKind::kWrite;
+    s.io_limit_bytes = 256 * KiB;
+    s.seed = seed;
+    run_job(sim, rec, s);
+    return offsets;
+  };
+  EXPECT_EQ(collect(1), collect(1));
+  EXPECT_NE(collect(1), collect(2));
+}
+
+TEST(IoEngine, LatencyHistogramMatchesDeviceLatency) {
+  sim::Simulator sim;
+  FakePowerDevice dev(sim, 0.0, microseconds(150));
+  const JobResult r = run_job(sim, dev, basic_spec());
+  EXPECT_NEAR(r.avg_latency_us(), 150.0, 5.0);
+  EXPECT_NEAR(r.p99_latency_us(), 150.0, 5.0);
+  EXPECT_EQ(r.latency.count(), r.ios);
+}
+
+TEST(IoEngine, ThroughputComputation) {
+  sim::Simulator sim;
+  FakePowerDevice dev(sim, 0.0, milliseconds(1));
+  JobSpec s = basic_spec();
+  s.block_bytes = 1 * MiB;
+  s.io_limit_bytes = 100 * MiB;
+  const JobResult r = run_job(sim, dev, s);
+  // 1 MiB per ms at qd1 -> ~1000 MiB/s.
+  EXPECT_NEAR(r.throughput_mib_s(), 1000.0, 20.0);
+  EXPECT_NEAR(r.iops(), 1000.0, 20.0);
+}
+
+TEST(IoEngine, WritesReachDeviceAsWrites) {
+  sim::Simulator sim;
+  FakePowerDevice dev(sim);
+  JobSpec s = basic_spec();
+  s.op = OpKind::kWrite;
+  s.io_limit_bytes = 64 * KiB;
+  run_job(sim, dev, s);
+  EXPECT_EQ(dev.submitted(), 16);
+  EXPECT_EQ(dev.completed(), 16);
+}
+
+TEST(IoEngine, RejectsBadSpecs) {
+  sim::Simulator sim;
+  FakePowerDevice dev(sim);
+  JobSpec s = basic_spec();
+  s.iodepth = 0;
+  EXPECT_DEATH(IoEngine(sim, dev, s), "");
+  s = basic_spec();
+  s.block_bytes = 1000;  // not sector aligned
+  EXPECT_DEATH(IoEngine(sim, dev, s), "");
+  s = basic_spec();
+  s.region_offset = dev.capacity_bytes();
+  EXPECT_DEATH(IoEngine(sim, dev, s), "capacity");
+}
+
+TEST(IoEngine, MixedWorkloadHonorsReadPercentage) {
+  sim::Simulator sim;
+  FakePowerDevice dev(sim);
+  int reads = 0;
+  int writes = 0;
+  class Counter : public sim::BlockDevice {
+   public:
+    Counter(sim::BlockDevice& inner, int& r, int& w) : inner_(inner), r_(r), w_(w) {}
+    const std::string& name() const override { return inner_.name(); }
+    std::uint64_t capacity_bytes() const override { return inner_.capacity_bytes(); }
+    std::uint32_t sector_bytes() const override { return inner_.sector_bytes(); }
+    void submit(const sim::IoRequest& req, sim::IoCallback done) override {
+      (req.op == sim::IoOp::kRead ? r_ : w_)++;
+      inner_.submit(req, std::move(done));
+    }
+    Watts instantaneous_power() const override { return 0.0; }
+    Joules consumed_energy() const override { return 0.0; }
+
+   private:
+    sim::BlockDevice& inner_;
+    int& r_;
+    int& w_;
+  } counter(dev, reads, writes);
+  JobSpec s = basic_spec();
+  s.rw_mix_read_pct = 70;  // fio rwmixread=70
+  s.io_limit_bytes = 4 * MiB;  // 1024 IOs
+  run_job(sim, counter, s);
+  EXPECT_EQ(reads + writes, 1024);
+  EXPECT_NEAR(static_cast<double>(reads) / 1024.0, 0.70, 0.05);
+}
+
+TEST(IoEngine, MixedZeroAndHundredAreDegenerate) {
+  for (const int pct : {0, 100}) {
+    sim::Simulator sim;
+    FakePowerDevice dev(sim);
+    JobSpec s = basic_spec();
+    s.rw_mix_read_pct = pct;
+    s.io_limit_bytes = 256 * KiB;
+    const auto r = run_job(sim, dev, s);
+    EXPECT_EQ(r.ios, 64u);
+  }
+}
+
+TEST(IoEngine, ZipfOffsetsSkewTowardHotSet) {
+  sim::Simulator sim;
+  FakePowerDevice dev(sim);
+  std::map<std::uint64_t, int> counts;
+  class Rec : public sim::BlockDevice {
+   public:
+    Rec(sim::BlockDevice& inner, std::map<std::uint64_t, int>& c) : inner_(inner), c_(c) {}
+    const std::string& name() const override { return inner_.name(); }
+    std::uint64_t capacity_bytes() const override { return inner_.capacity_bytes(); }
+    std::uint32_t sector_bytes() const override { return inner_.sector_bytes(); }
+    void submit(const sim::IoRequest& req, sim::IoCallback done) override {
+      ++c_[req.offset];
+      inner_.submit(req, std::move(done));
+    }
+    Watts instantaneous_power() const override { return 0.0; }
+    Joules consumed_energy() const override { return 0.0; }
+
+   private:
+    sim::BlockDevice& inner_;
+    std::map<std::uint64_t, int>& c_;
+  } rec(dev, counts);
+  JobSpec s = basic_spec();
+  s.pattern = Pattern::kRandom;
+  s.offset_dist = OffsetDist::kZipf;
+  s.region_bytes = 64 * MiB;  // 16k blocks
+  s.io_limit_bytes = 64 * MiB;  // 16k IOs
+  run_job(sim, rec, s);
+  // Hottest single offset should far exceed a uniform share (~1 access).
+  int hottest = 0;
+  for (const auto& [off, n] : counts) hottest = std::max(hottest, n);
+  EXPECT_GT(hottest, 100);
+  // But the workload still touches a broad set of offsets.
+  EXPECT_GT(counts.size(), 1000u);
+}
+
+TEST(IoEngine, LabelFormatsLikeFio) {
+  JobSpec s = basic_spec();
+  s.pattern = Pattern::kRandom;
+  s.op = OpKind::kWrite;
+  s.block_bytes = 256 * 1024;
+  s.iodepth = 64;
+  EXPECT_EQ(s.label(), "randwrite bs=256KiB qd=64");
+}
+
+}  // namespace
+}  // namespace pas::iogen

@@ -1,0 +1,142 @@
+#include "model/fleet.h"
+
+#include <gtest/gtest.h>
+
+namespace pas::model {
+namespace {
+
+ExperimentPoint option(double watts, double mib_s) {
+  ExperimentPoint p;
+  p.workload = "randwrite";
+  p.avg_power_w = watts;
+  p.throughput_mib_s = mib_s;
+  return p;
+}
+
+FleetDevice device(std::string name, std::vector<ExperimentPoint> options) {
+  return FleetDevice{std::move(name), std::move(options)};
+}
+
+TEST(FleetPlanner, SingleDevicePicksBestFit) {
+  FleetPlanner planner({device("d0", {option(5.0, 100.0), option(10.0, 300.0)})});
+  auto a = planner.best_under_power(7.0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->total_throughput_mib_s, 100.0);
+  a = planner.best_under_power(10.5);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->total_throughput_mib_s, 300.0);
+}
+
+TEST(FleetPlanner, InfeasibleBudget) {
+  FleetPlanner planner({device("d0", {option(5.0, 100.0)})});
+  EXPECT_FALSE(planner.best_under_power(4.0).has_value());
+  EXPECT_FALSE(planner.best_under_power(-1.0).has_value());
+}
+
+TEST(FleetPlanner, StandbyOptionParksDevices) {
+  // Two devices; budget fits one active + one standby.
+  std::vector<FleetDevice> fleet;
+  for (int i = 0; i < 2; ++i) {
+    auto d = device("d" + std::to_string(i), {option(10.0, 300.0)});
+    d.options.push_back(standby_option(1.0));
+    fleet.push_back(std::move(d));
+  }
+  FleetPlanner planner(std::move(fleet));
+  const auto a = planner.best_under_power(12.0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->total_throughput_mib_s, 300.0);
+  EXPECT_NEAR(a->total_power_w, 11.0, 1e-9);
+  int standby_count = 0;
+  for (const auto& d : a->per_device) {
+    if (d.chosen.workload == "standby") ++standby_count;
+  }
+  EXPECT_EQ(standby_count, 1);
+}
+
+TEST(FleetPlanner, NeverExceedsBudget) {
+  std::vector<FleetDevice> fleet;
+  for (int i = 0; i < 4; ++i) {
+    fleet.push_back(device("d" + std::to_string(i),
+                           {option(1.0, 0.0), option(6.15, 150.0), option(8.3, 310.0)}));
+  }
+  FleetPlanner planner(std::move(fleet));
+  for (double budget : {4.5, 10.0, 17.3, 25.0, 33.2, 50.0}) {
+    const auto a = planner.best_under_power(budget);
+    ASSERT_TRUE(a.has_value()) << budget;
+    EXPECT_LE(a->total_power_w, budget + 1e-9) << budget;
+    EXPECT_EQ(a->per_device.size(), 4u);
+  }
+}
+
+TEST(FleetPlanner, OptimalOnKnownKnapsack) {
+  // d0: 3W->30, 5W->80; d1: 2W->20, 4W->70. Budget 8W.
+  // Best: d0@5W(80) + d1@2W(20) = 100? or d0@3(30)+d1@4(70) = 100? tie.
+  // Budget 9W: d0@5(80)+d1@4(70) = 150.
+  FleetPlanner planner({device("d0", {option(3, 30), option(5, 80)}),
+                        device("d1", {option(2, 20), option(4, 70)})});
+  auto a = planner.best_under_power(8.0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->total_throughput_mib_s, 100.0);
+  a = planner.best_under_power(9.0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->total_throughput_mib_s, 150.0);
+}
+
+TEST(FleetPlanner, ThroughputMonotoneInBudget) {
+  std::vector<FleetDevice> fleet;
+  for (int i = 0; i < 3; ++i) {
+    fleet.push_back(device("d" + std::to_string(i),
+                           {standby_option(0.5), option(4.0, 100.0), option(9.0, 280.0)}));
+  }
+  FleetPlanner planner(std::move(fleet));
+  double prev = -1.0;
+  for (double b = 2.0; b <= 30.0; b += 1.0) {
+    const auto a = planner.best_under_power(b);
+    if (!a.has_value()) continue;
+    EXPECT_GE(a->total_throughput_mib_s, prev);
+    prev = a->total_throughput_mib_s;
+  }
+}
+
+TEST(FleetPlanner, ParetoFrontierStrictlyImproves) {
+  std::vector<FleetDevice> fleet;
+  for (int i = 0; i < 3; ++i) {
+    fleet.push_back(device("d" + std::to_string(i),
+                           {standby_option(1.0), option(5.0, 120.0), option(8.0, 200.0)}));
+  }
+  FleetPlanner planner(std::move(fleet));
+  const auto frontier = planner.pareto(30.0, 1.0);
+  ASSERT_GE(frontier.size(), 3u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].total_throughput_mib_s, frontier[i - 1].total_throughput_mib_s);
+  }
+}
+
+TEST(FleetPlanner, PowerBounds) {
+  FleetPlanner planner({device("d0", {option(2.0, 10.0), option(7.0, 50.0)}),
+                        device("d1", {option(3.0, 10.0), option(9.0, 60.0)})});
+  EXPECT_DOUBLE_EQ(planner.min_total_power(), 5.0);
+  EXPECT_DOUBLE_EQ(planner.max_total_power(), 16.0);
+}
+
+TEST(FleetPlanner, SixteenDeviceServerScales) {
+  // The paper's section 2 example: 16 SSDs, 5 W idle / 23 W active each.
+  std::vector<FleetDevice> fleet;
+  for (int i = 0; i < 16; ++i) {
+    fleet.push_back(device("ssd" + std::to_string(i),
+                           {option(5.0, 0.0), option(12.0, 1500.0), option(23.0, 3000.0)}));
+  }
+  FleetPlanner planner(std::move(fleet));
+  // Full budget: everything active.
+  auto a = planner.best_under_power(16 * 23.0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->total_throughput_mib_s, 16 * 3000.0);
+  // Half budget: planner finds a mixed assignment within it.
+  a = planner.best_under_power(16 * 23.0 / 2);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_LE(a->total_power_w, 16 * 23.0 / 2 + 1e-9);
+  EXPECT_GT(a->total_throughput_mib_s, 16 * 3000.0 * 0.4);
+}
+
+}  // namespace
+}  // namespace pas::model

@@ -1,0 +1,122 @@
+#include "model/power_throughput.h"
+
+#include <gtest/gtest.h>
+
+namespace pas::model {
+namespace {
+
+ExperimentPoint point(double watts, double mib_s, int ps = 0, std::uint32_t chunk = 4096,
+                      int qd = 1) {
+  ExperimentPoint p;
+  p.device = "TEST";
+  p.power_state = ps;
+  p.chunk_bytes = chunk;
+  p.queue_depth = qd;
+  p.workload = "randwrite";
+  p.avg_power_w = watts;
+  p.throughput_mib_s = mib_s;
+  return p;
+}
+
+PowerThroughputModel simple_model() {
+  return PowerThroughputModel("TEST", {
+                                          point(6.0, 300.0, 0, 4096, 1),
+                                          point(10.0, 1700.0, 0, 4096, 64),
+                                          point(15.0, 3100.0, 0, 2 * 1024 * 1024, 64),
+                                          point(12.0, 2300.0, 1, 256 * 1024, 64),
+                                          point(8.0, 1500.0, 2, 256 * 1024, 64),
+                                      });
+}
+
+TEST(PowerThroughputModel, MaximaAndMinima) {
+  const auto m = simple_model();
+  EXPECT_DOUBLE_EQ(m.max_power(), 15.0);
+  EXPECT_DOUBLE_EQ(m.min_power(), 6.0);
+  EXPECT_DOUBLE_EQ(m.max_throughput(), 3100.0);
+}
+
+TEST(PowerThroughputModel, DynamicRange) {
+  const auto m = simple_model();
+  EXPECT_NEAR(m.power_dynamic_range(), (15.0 - 6.0) / 15.0, 1e-12);
+}
+
+TEST(PowerThroughputModel, MinThroughputFraction) {
+  const auto m = simple_model();
+  EXPECT_NEAR(m.min_throughput_fraction(), 300.0 / 3100.0, 1e-12);
+}
+
+TEST(PowerThroughputModel, NormalizedPointsInUnitSquare) {
+  const auto m = simple_model();
+  for (const auto& np : m.normalized()) {
+    EXPECT_GT(np.power, 0.0);
+    EXPECT_LE(np.power, 1.0);
+    EXPECT_GT(np.throughput, 0.0);
+    EXPECT_LE(np.throughput, 1.0);
+  }
+}
+
+TEST(PowerThroughputModel, BestUnderPowerPicksMaxThroughput) {
+  const auto m = simple_model();
+  const auto best = m.best_under_power(12.5);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->throughput_mib_s, 2300.0);  // the ps1 point
+}
+
+TEST(PowerThroughputModel, BestUnderPowerFraction) {
+  // The paper's worked example: a 20% power reduction keeps the best config
+  // whose power is <= 80% of max.
+  const auto m = simple_model();
+  const auto best = m.best_under_power_fraction(0.8);  // budget = 12 W
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(best->avg_power_w, 12.0);
+  EXPECT_DOUBLE_EQ(best->throughput_mib_s, 2300.0);
+}
+
+TEST(PowerThroughputModel, InfeasibleBudgetReturnsNullopt) {
+  const auto m = simple_model();
+  EXPECT_FALSE(m.best_under_power(5.0).has_value());
+}
+
+TEST(PowerThroughputModel, MaxThroughputPoint) {
+  const auto m = simple_model();
+  EXPECT_DOUBLE_EQ(m.max_throughput_point().avg_power_w, 15.0);
+}
+
+TEST(PowerThroughputModel, ParetoFrontierIsMonotone) {
+  const auto m = simple_model();
+  const auto frontier = m.pareto_frontier();
+  ASSERT_GE(frontier.size(), 2u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].avg_power_w, frontier[i - 1].avg_power_w);
+    EXPECT_GT(frontier[i].throughput_mib_s, frontier[i - 1].throughput_mib_s);
+  }
+}
+
+TEST(PowerThroughputModel, ParetoDropsDominatedPoints) {
+  // Add a dominated point: more power, less throughput than the ps1 point.
+  auto pts = simple_model().points();
+  pts.push_back(point(13.0, 2000.0));
+  PowerThroughputModel m("TEST", pts);
+  for (const auto& p : m.pareto_frontier()) {
+    EXPECT_FALSE(p.avg_power_w == 13.0 && p.throughput_mib_s == 2000.0);
+  }
+}
+
+TEST(PowerThroughputModel, SinglePointDegenerate) {
+  PowerThroughputModel m("TEST", {point(10.0, 1000.0)});
+  EXPECT_DOUBLE_EQ(m.power_dynamic_range(), 0.0);
+  EXPECT_DOUBLE_EQ(m.min_throughput_fraction(), 1.0);
+  EXPECT_EQ(m.pareto_frontier().size(), 1u);
+}
+
+TEST(PowerThroughputModel, EmptyAborts) {
+  EXPECT_DEATH(PowerThroughputModel("TEST", {}), "");
+}
+
+TEST(ExperimentPoint, ConfigLabel) {
+  const auto p = point(10.0, 100.0, 2, 256 * 1024, 64);
+  EXPECT_EQ(p.config_label(), "ps2 bs=256KiB qd=64");
+}
+
+}  // namespace
+}  // namespace pas::model

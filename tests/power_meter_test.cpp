@@ -1,0 +1,60 @@
+#include "power/energy_meter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace pas::power {
+namespace {
+
+TEST(EnergyMeter, ZeroPowerAccumulatesNothing) {
+  EnergyMeter m;
+  EXPECT_DOUBLE_EQ(m.energy_at(seconds(100)), 0.0);
+}
+
+TEST(EnergyMeter, ConstantPower) {
+  EnergyMeter m(0, 5.0);
+  EXPECT_DOUBLE_EQ(m.energy_at(seconds(10)), 50.0);
+  EXPECT_DOUBLE_EQ(m.power(), 5.0);
+}
+
+TEST(EnergyMeter, PiecewiseConstantIntegration) {
+  EnergyMeter m;
+  m.set_power(0, 2.0);
+  m.set_power(seconds(1), 10.0);       // 2 J so far
+  m.set_power(seconds(1.5), 0.0);      // + 5 J
+  m.set_power(seconds(3), 4.0);        // + 0 J
+  EXPECT_DOUBLE_EQ(m.energy_at(seconds(4)), 2.0 + 5.0 + 0.0 + 4.0);
+}
+
+TEST(EnergyMeter, EnergyAtIsIdempotent) {
+  EnergyMeter m(0, 3.0);
+  EXPECT_DOUBLE_EQ(m.energy_at(seconds(2)), 6.0);
+  EXPECT_DOUBLE_EQ(m.energy_at(seconds(2)), 6.0);
+  EXPECT_DOUBLE_EQ(m.energy_at(seconds(4)), 12.0);
+}
+
+TEST(EnergyMeter, SetSamePowerRepeatedly) {
+  EnergyMeter m;
+  for (int i = 1; i <= 10; ++i) m.set_power(seconds(i), 1.0);
+  EXPECT_DOUBLE_EQ(m.energy_at(seconds(10)), 9.0);
+}
+
+TEST(EnergyMeter, StartOffsetRespected) {
+  EnergyMeter m(seconds(5), 2.0);
+  EXPECT_DOUBLE_EQ(m.energy_at(seconds(7)), 4.0);
+}
+
+TEST(EnergyMeter, BackwardsTimeAborts) {
+  EnergyMeter m;
+  m.set_power(seconds(2), 1.0);
+  EXPECT_DEATH(m.set_power(seconds(1), 1.0), "");
+}
+
+TEST(EnergyMeter, NegativePowerAborts) {
+  EnergyMeter m;
+  EXPECT_DEATH(m.set_power(seconds(1), -0.5), "");
+}
+
+}  // namespace
+}  // namespace pas::power

@@ -1,0 +1,103 @@
+#include "power/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace pas::power {
+namespace {
+
+PowerTrace make_trace(std::initializer_list<double> watts, TimeNs spacing = milliseconds(1)) {
+  PowerTrace t;
+  TimeNs now = spacing;
+  for (double w : watts) {
+    t.add(now, w);
+    now += spacing;
+  }
+  return t;
+}
+
+TEST(PowerTrace, BasicStats) {
+  const PowerTrace t = make_trace({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_DOUBLE_EQ(t.mean_power(), 2.5);
+  EXPECT_DOUBLE_EQ(t.min_power(), 1.0);
+  EXPECT_DOUBLE_EQ(t.max_power(), 4.0);
+  EXPECT_EQ(t.duration(), milliseconds(3));
+}
+
+TEST(PowerTrace, NonMonotonicTimestampsAbort) {
+  PowerTrace t;
+  t.add(milliseconds(2), 1.0);
+  EXPECT_DEATH(t.add(milliseconds(1), 1.0), "increasing");
+  EXPECT_DEATH(t.add(milliseconds(2), 1.0), "increasing");
+}
+
+TEST(PowerTrace, EnergyRectangleRule) {
+  const PowerTrace t = make_trace({5.0, 5.0, 5.0, 5.0, 5.0}, milliseconds(100));
+  // 4 intervals of 0.1 s at 5 W (first sample has no preceding interval).
+  EXPECT_NEAR(t.energy(), 4 * 0.1 * 5.0, 1e-12);
+}
+
+TEST(PowerTrace, MaxWindowAverageFindsBurst) {
+  // 10 samples at 1 W, then 10 at 11 W, then 10 at 1 W; 1 ms spacing.
+  PowerTrace t;
+  TimeNs now = 0;
+  for (int i = 0; i < 30; ++i) {
+    now += milliseconds(1);
+    t.add(now, (i >= 10 && i < 20) ? 11.0 : 1.0);
+  }
+  // A 10 ms window isolates (most of) the burst: at least 10 of its 11
+  // samples are burst samples.
+  const double w10 = t.max_window_average(milliseconds(10));
+  EXPECT_GE(w10, (10 * 11.0 + 1 * 1.0) / 11.0);
+  EXPECT_LE(w10, 11.0);
+  // A window longer than the trace degrades to the overall mean.
+  EXPECT_NEAR(t.max_window_average(seconds(1)), (10 * 1.0 + 10 * 11.0 + 10 * 1.0) / 30.0,
+              1e-9);
+}
+
+TEST(PowerTrace, MaxWindowAverageSingleSample) {
+  PowerTrace t;
+  t.add(milliseconds(1), 7.0);
+  EXPECT_DOUBLE_EQ(t.max_window_average(milliseconds(10)), 7.0);
+}
+
+TEST(PowerTrace, SliceHalfOpen) {
+  const PowerTrace t = make_trace({1.0, 2.0, 3.0, 4.0, 5.0});  // at 1..5 ms
+  const PowerTrace s = t.slice(milliseconds(2), milliseconds(4));
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0].watts, 2.0);
+  EXPECT_DOUBLE_EQ(s[1].watts, 3.0);
+}
+
+TEST(PowerTrace, SliceEmptyRange) {
+  const PowerTrace t = make_trace({1.0, 2.0});
+  EXPECT_TRUE(t.slice(seconds(1), seconds(2)).empty());
+}
+
+TEST(PowerTrace, DistributionSummary) {
+  PowerTrace t;
+  TimeNs now = 0;
+  for (int i = 1; i <= 100; ++i) {
+    now += milliseconds(1);
+    t.add(now, static_cast<double>(i));
+  }
+  const DistributionSummary d = t.distribution();
+  EXPECT_EQ(d.count, 100u);
+  EXPECT_DOUBLE_EQ(d.min, 1.0);
+  EXPECT_DOUBLE_EQ(d.max, 100.0);
+  EXPECT_NEAR(d.median, 50.5, 1e-9);
+  EXPECT_NEAR(d.mean, 50.5, 1e-9);
+}
+
+TEST(PowerTrace, EmptyTraceSafeDefaults) {
+  PowerTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.mean_power(), 0.0);
+  EXPECT_DOUBLE_EQ(t.energy(), 0.0);
+  EXPECT_DOUBLE_EQ(t.max_window_average(seconds(10)), 0.0);
+}
+
+}  // namespace
+}  // namespace pas::power

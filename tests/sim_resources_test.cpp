@@ -1,0 +1,97 @@
+#include "sim/resources.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pas::sim {
+namespace {
+
+TEST(SerialResource, ImmediateAcquireWhenFree) {
+  SerialResource r;
+  bool ran = false;
+  r.acquire([&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(r.busy());
+  r.release();
+  EXPECT_FALSE(r.busy());
+}
+
+TEST(SerialResource, WaitersRunFifoOnRelease) {
+  SerialResource r;
+  std::vector<int> order;
+  r.acquire([&] { order.push_back(0); });
+  r.acquire([&] { order.push_back(1); });
+  r.acquire([&] { order.push_back(2); });
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(r.waiters(), 2u);
+  r.release();  // hands over to waiter 1
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(r.busy());
+  r.release();
+  r.release();
+  EXPECT_FALSE(r.busy());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SerialResource, BusyListenerFiresOnEdges) {
+  SerialResource r;
+  std::vector<bool> edges;
+  r.set_busy_listener([&](bool busy) { edges.push_back(busy); });
+  r.acquire([] {});
+  r.acquire([] {});  // queued: no edge
+  r.release();       // handover: no edge
+  r.release();       // now free: edge
+  EXPECT_EQ(edges, (std::vector<bool>{true, false}));
+}
+
+TEST(SerialResource, ReleaseWithoutAcquireAborts) {
+  SerialResource r;
+  EXPECT_DEATH(r.release(), "");
+}
+
+TEST(ResourcePool, ParallelismUpToServers) {
+  ResourcePool pool(2);
+  int running = 0;
+  pool.acquire([&] { ++running; });
+  pool.acquire([&] { ++running; });
+  pool.acquire([&] { ++running; });
+  EXPECT_EQ(running, 2);
+  EXPECT_EQ(pool.busy_servers(), 2);
+  EXPECT_EQ(pool.waiters(), 1u);
+  pool.release();  // third runs
+  EXPECT_EQ(running, 3);
+  EXPECT_EQ(pool.busy_servers(), 2);
+  pool.release();
+  pool.release();
+  EXPECT_EQ(pool.busy_servers(), 0);
+}
+
+TEST(ResourcePool, CountListenerTracksBusyServers) {
+  ResourcePool pool(2);
+  std::vector<int> counts;
+  pool.set_count_listener([&](int n) { counts.push_back(n); });
+  pool.acquire([] {});
+  pool.acquire([] {});
+  pool.acquire([] {});  // queued
+  pool.release();       // handover: count unchanged, no callback
+  pool.release();
+  pool.release();
+  EXPECT_EQ(counts, (std::vector<int>{1, 2, 1, 0}));
+}
+
+TEST(ResourcePool, SingleServerIsSerial) {
+  ResourcePool pool(1);
+  std::vector<int> order;
+  pool.acquire([&] { order.push_back(0); });
+  pool.acquire([&] { order.push_back(1); });
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  pool.release();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  pool.release();
+}
+
+TEST(ResourcePool, ZeroServersAborts) { EXPECT_DEATH(ResourcePool(0), ""); }
+
+}  // namespace
+}  // namespace pas::sim

@@ -1,0 +1,183 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace pas::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(milliseconds(3), [&] { order.push_back(3); });
+  s.schedule_at(milliseconds(1), [&] { order.push_back(1); });
+  s.schedule_at(milliseconds(2), [&] { order.push_back(2); });
+  s.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), milliseconds(3));
+}
+
+TEST(Simulator, SameTimeEventsFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesNow) {
+  Simulator s;
+  TimeNs fired_at = -1;
+  s.schedule_at(seconds(1), [&] {
+    s.schedule_after(milliseconds(500), [&] { fired_at = s.now(); });
+  });
+  s.run_to_completion();
+  EXPECT_EQ(fired_at, seconds(1.5));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool ran = false;
+  const auto id = s.schedule_at(milliseconds(1), [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // second cancel is a no-op
+  s.run_to_completion();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelledEventDoesNotAdvanceClock) {
+  Simulator s;
+  const auto id = s.schedule_at(seconds(100), [] {});
+  s.schedule_at(milliseconds(1), [] {});
+  s.cancel(id);
+  s.run_to_completion();
+  EXPECT_EQ(s.now(), milliseconds(1));
+}
+
+TEST(Simulator, RunUntilAdvancesExactly) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(milliseconds(10), [&] { ++fired; });
+  s.schedule_at(milliseconds(30), [&] { ++fired; });
+  s.run_until(milliseconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), milliseconds(20));
+  s.run_until(milliseconds(40));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), milliseconds(40));
+}
+
+TEST(Simulator, RunUntilInclusiveOfBoundary) {
+  Simulator s;
+  bool ran = false;
+  s.schedule_at(milliseconds(10), [&] { ran = true; });
+  s.run_until(milliseconds(10));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) s.schedule_after(microseconds(1), chain);
+  };
+  s.schedule_after(0, chain);
+  s.run_to_completion();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.executed_events(), 100u);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator s;
+  s.schedule_at(milliseconds(7), [&] {
+    s.schedule_after(0, [&] { EXPECT_EQ(s.now(), milliseconds(7)); });
+  });
+  s.run_to_completion();
+  EXPECT_EQ(s.now(), milliseconds(7));
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  s.schedule_after(1, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, SchedulingInPastAborts) {
+  Simulator s;
+  s.schedule_at(milliseconds(5), [] {});
+  s.run_to_completion();
+  EXPECT_DEATH(s.schedule_at(milliseconds(1), [] {}), "past");
+}
+
+TEST(PeriodicTask, FiresAtFixedPeriod) {
+  Simulator s;
+  std::vector<TimeNs> ticks;
+  PeriodicTask task(s, milliseconds(10), [&] { ticks.push_back(s.now()); });
+  task.start();
+  s.run_until(milliseconds(55));
+  ASSERT_EQ(ticks.size(), 5u);
+  for (std::size_t i = 0; i < ticks.size(); ++i) {
+    EXPECT_EQ(ticks[i], milliseconds(10) * static_cast<TimeNs>(i + 1));
+  }
+}
+
+TEST(PeriodicTask, StopHaltsTicks) {
+  Simulator s;
+  int ticks = 0;
+  PeriodicTask task(s, milliseconds(1), [&] { ++ticks; });
+  task.start();
+  s.run_until(milliseconds(5));
+  task.stop();
+  s.run_until(milliseconds(100));
+  EXPECT_EQ(ticks, 5);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, StopFromWithinCallback) {
+  Simulator s;
+  int ticks = 0;
+  PeriodicTask task(s, milliseconds(1), [&] {
+    if (++ticks == 3) task.stop();
+  });
+  task.start();
+  s.run_until(milliseconds(50));
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicTask, RestartAfterStop) {
+  Simulator s;
+  int ticks = 0;
+  PeriodicTask task(s, milliseconds(1), [&] { ++ticks; });
+  task.start();
+  s.run_until(milliseconds(3));
+  task.stop();
+  task.start();
+  s.run_until(milliseconds(6));
+  EXPECT_EQ(ticks, 6);
+}
+
+TEST(PeriodicTask, StartIsIdempotent) {
+  Simulator s;
+  int ticks = 0;
+  PeriodicTask task(s, milliseconds(10), [&] { ++ticks; });
+  task.start();
+  task.start();
+  s.run_until(milliseconds(25));
+  EXPECT_EQ(ticks, 2);  // not doubled
+}
+
+}  // namespace
+}  // namespace pas::sim
