@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adc.dir/bench_ablation_adc.cpp.o"
+  "CMakeFiles/bench_ablation_adc.dir/bench_ablation_adc.cpp.o.d"
+  "bench_ablation_adc"
+  "bench_ablation_adc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

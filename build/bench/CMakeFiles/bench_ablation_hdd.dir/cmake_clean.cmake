@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hdd.dir/bench_ablation_hdd.cpp.o"
+  "CMakeFiles/bench_ablation_hdd.dir/bench_ablation_hdd.cpp.o.d"
+  "bench_ablation_hdd"
+  "bench_ablation_hdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_standby.dir/bench_fig7_standby.cpp.o"
+  "CMakeFiles/bench_fig7_standby.dir/bench_fig7_standby.cpp.o.d"
+  "bench_fig7_standby"
+  "bench_fig7_standby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_standby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/asymmetric_io.cpp" "examples/CMakeFiles/asymmetric_io.dir/asymmetric_io.cpp.o" "gcc" "examples/CMakeFiles/asymmetric_io.dir/asymmetric_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/iogen/CMakeFiles/pas_iogen.dir/DependInfo.cmake"
+  "/root/repo/build/src/devmgmt/CMakeFiles/pas_devmgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/pas_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/pas_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/pas_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/pas_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdd/CMakeFiles/pas_hdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pas_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asymmetric_io.dir/asymmetric_io.cpp.o"
+  "CMakeFiles/asymmetric_io.dir/asymmetric_io.cpp.o.d"
+  "asymmetric_io"
+  "asymmetric_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asymmetric_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

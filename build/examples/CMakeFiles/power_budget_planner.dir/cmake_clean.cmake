@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_budget_planner.dir/power_budget_planner.cpp.o"
+  "CMakeFiles/power_budget_planner.dir/power_budget_planner.cpp.o.d"
+  "power_budget_planner"
+  "power_budget_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_budget_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_standby.dir/tiered_standby.cpp.o"
+  "CMakeFiles/tiered_standby.dir/tiered_standby.cpp.o.d"
+  "tiered_standby"
+  "tiered_standby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_standby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_common.dir/histogram.cpp.o"
+  "CMakeFiles/pas_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/pas_common.dir/rng.cpp.o"
+  "CMakeFiles/pas_common.dir/rng.cpp.o.d"
+  "CMakeFiles/pas_common.dir/stats.cpp.o"
+  "CMakeFiles/pas_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pas_common.dir/table.cpp.o"
+  "CMakeFiles/pas_common.dir/table.cpp.o.d"
+  "CMakeFiles/pas_common.dir/zipf.cpp.o"
+  "CMakeFiles/pas_common.dir/zipf.cpp.o.d"
+  "libpas_common.a"
+  "libpas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

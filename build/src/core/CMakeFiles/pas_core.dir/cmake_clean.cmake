@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_core.dir/campaign.cpp.o"
+  "CMakeFiles/pas_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/pas_core.dir/controller.cpp.o"
+  "CMakeFiles/pas_core.dir/controller.cpp.o.d"
+  "CMakeFiles/pas_core.dir/domains.cpp.o"
+  "CMakeFiles/pas_core.dir/domains.cpp.o.d"
+  "libpas_core.a"
+  "libpas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

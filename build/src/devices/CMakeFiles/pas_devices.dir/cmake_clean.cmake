@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_devices.dir/specs.cpp.o"
+  "CMakeFiles/pas_devices.dir/specs.cpp.o.d"
+  "libpas_devices.a"
+  "libpas_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_devmgmt.dir/admin.cpp.o"
+  "CMakeFiles/pas_devmgmt.dir/admin.cpp.o.d"
+  "libpas_devmgmt.a"
+  "libpas_devmgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_devmgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_hdd.dir/device.cpp.o"
+  "CMakeFiles/pas_hdd.dir/device.cpp.o.d"
+  "libpas_hdd.a"
+  "libpas_hdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_hdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

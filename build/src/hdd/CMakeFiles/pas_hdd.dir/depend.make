@@ -1,0 +1,2 @@
+# Empty dependencies file for pas_hdd.
+# This may be replaced when dependencies are built.

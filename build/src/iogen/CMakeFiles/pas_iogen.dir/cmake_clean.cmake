@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_iogen.dir/engine.cpp.o"
+  "CMakeFiles/pas_iogen.dir/engine.cpp.o.d"
+  "libpas_iogen.a"
+  "libpas_iogen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_iogen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

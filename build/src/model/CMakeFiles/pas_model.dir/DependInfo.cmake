@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/fleet.cpp" "src/model/CMakeFiles/pas_model.dir/fleet.cpp.o" "gcc" "src/model/CMakeFiles/pas_model.dir/fleet.cpp.o.d"
+  "/root/repo/src/model/latency.cpp" "src/model/CMakeFiles/pas_model.dir/latency.cpp.o" "gcc" "src/model/CMakeFiles/pas_model.dir/latency.cpp.o.d"
+  "/root/repo/src/model/power_throughput.cpp" "src/model/CMakeFiles/pas_model.dir/power_throughput.cpp.o" "gcc" "src/model/CMakeFiles/pas_model.dir/power_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

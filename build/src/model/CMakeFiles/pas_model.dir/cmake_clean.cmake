@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_model.dir/fleet.cpp.o"
+  "CMakeFiles/pas_model.dir/fleet.cpp.o.d"
+  "CMakeFiles/pas_model.dir/latency.cpp.o"
+  "CMakeFiles/pas_model.dir/latency.cpp.o.d"
+  "CMakeFiles/pas_model.dir/power_throughput.cpp.o"
+  "CMakeFiles/pas_model.dir/power_throughput.cpp.o.d"
+  "libpas_model.a"
+  "libpas_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

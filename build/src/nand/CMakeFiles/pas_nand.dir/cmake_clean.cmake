@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_nand.dir/array.cpp.o"
+  "CMakeFiles/pas_nand.dir/array.cpp.o.d"
+  "libpas_nand.a"
+  "libpas_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/rig.cpp" "src/power/CMakeFiles/pas_power.dir/rig.cpp.o" "gcc" "src/power/CMakeFiles/pas_power.dir/rig.cpp.o.d"
+  "/root/repo/src/power/trace.cpp" "src/power/CMakeFiles/pas_power.dir/trace.cpp.o" "gcc" "src/power/CMakeFiles/pas_power.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pas_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

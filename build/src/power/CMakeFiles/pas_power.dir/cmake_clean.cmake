@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_power.dir/rig.cpp.o"
+  "CMakeFiles/pas_power.dir/rig.cpp.o.d"
+  "CMakeFiles/pas_power.dir/trace.cpp.o"
+  "CMakeFiles/pas_power.dir/trace.cpp.o.d"
+  "libpas_power.a"
+  "libpas_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pas_sim.dir/simulator.cpp.o.d"
+  "libpas_sim.a"
+  "libpas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

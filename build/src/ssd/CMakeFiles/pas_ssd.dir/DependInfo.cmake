@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/device.cpp" "src/ssd/CMakeFiles/pas_ssd.dir/device.cpp.o" "gcc" "src/ssd/CMakeFiles/pas_ssd.dir/device.cpp.o.d"
+  "/root/repo/src/ssd/ftl.cpp" "src/ssd/CMakeFiles/pas_ssd.dir/ftl.cpp.o" "gcc" "src/ssd/CMakeFiles/pas_ssd.dir/ftl.cpp.o.d"
+  "/root/repo/src/ssd/governor.cpp" "src/ssd/CMakeFiles/pas_ssd.dir/governor.cpp.o" "gcc" "src/ssd/CMakeFiles/pas_ssd.dir/governor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/pas_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pas_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_ssd.dir/device.cpp.o"
+  "CMakeFiles/pas_ssd.dir/device.cpp.o.d"
+  "CMakeFiles/pas_ssd.dir/ftl.cpp.o"
+  "CMakeFiles/pas_ssd.dir/ftl.cpp.o.d"
+  "CMakeFiles/pas_ssd.dir/governor.cpp.o"
+  "CMakeFiles/pas_ssd.dir/governor.cpp.o.d"
+  "libpas_ssd.a"
+  "libpas_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

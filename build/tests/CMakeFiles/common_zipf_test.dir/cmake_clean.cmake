@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_zipf_test.dir/common_zipf_test.cpp.o"
+  "CMakeFiles/common_zipf_test.dir/common_zipf_test.cpp.o.d"
+  "common_zipf_test"
+  "common_zipf_test.pdb"
+  "common_zipf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_zipf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

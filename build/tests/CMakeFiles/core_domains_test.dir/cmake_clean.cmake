@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_domains_test.dir/core_domains_test.cpp.o"
+  "CMakeFiles/core_domains_test.dir/core_domains_test.cpp.o.d"
+  "core_domains_test"
+  "core_domains_test.pdb"
+  "core_domains_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_domains_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devices_specs_test.dir/devices_specs_test.cpp.o"
+  "CMakeFiles/devices_specs_test.dir/devices_specs_test.cpp.o.d"
+  "devices_specs_test"
+  "devices_specs_test.pdb"
+  "devices_specs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devices_specs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devmgmt_admin_test.dir/devmgmt_admin_test.cpp.o"
+  "CMakeFiles/devmgmt_admin_test.dir/devmgmt_admin_test.cpp.o.d"
+  "devmgmt_admin_test"
+  "devmgmt_admin_test.pdb"
+  "devmgmt_admin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devmgmt_admin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

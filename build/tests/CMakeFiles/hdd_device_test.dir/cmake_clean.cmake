@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdd_device_test.dir/hdd_device_test.cpp.o"
+  "CMakeFiles/hdd_device_test.dir/hdd_device_test.cpp.o.d"
+  "hdd_device_test"
+  "hdd_device_test.pdb"
+  "hdd_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdd_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iogen_engine_test.dir/iogen_engine_test.cpp.o"
+  "CMakeFiles/iogen_engine_test.dir/iogen_engine_test.cpp.o.d"
+  "iogen_engine_test"
+  "iogen_engine_test.pdb"
+  "iogen_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iogen_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

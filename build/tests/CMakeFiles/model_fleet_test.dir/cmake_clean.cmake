@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_fleet_test.dir/model_fleet_test.cpp.o"
+  "CMakeFiles/model_fleet_test.dir/model_fleet_test.cpp.o.d"
+  "model_fleet_test"
+  "model_fleet_test.pdb"
+  "model_fleet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_fleet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_latency_test.dir/model_latency_test.cpp.o"
+  "CMakeFiles/model_latency_test.dir/model_latency_test.cpp.o.d"
+  "model_latency_test"
+  "model_latency_test.pdb"
+  "model_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nand_array_test.dir/nand_array_test.cpp.o"
+  "CMakeFiles/nand_array_test.dir/nand_array_test.cpp.o.d"
+  "nand_array_test"
+  "nand_array_test.pdb"
+  "nand_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nand_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_apst_test.dir/ssd_apst_test.cpp.o"
+  "CMakeFiles/ssd_apst_test.dir/ssd_apst_test.cpp.o.d"
+  "ssd_apst_test"
+  "ssd_apst_test.pdb"
+  "ssd_apst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_apst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

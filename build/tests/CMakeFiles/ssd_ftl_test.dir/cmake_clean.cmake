@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_ftl_test.dir/ssd_ftl_test.cpp.o"
+  "CMakeFiles/ssd_ftl_test.dir/ssd_ftl_test.cpp.o.d"
+  "ssd_ftl_test"
+  "ssd_ftl_test.pdb"
+  "ssd_ftl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_ftl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/common_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/common_histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/common_table_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/power_meter_test[1]_include.cmake")
+include("/root/repo/build/tests/power_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/power_rig_test[1]_include.cmake")
+include("/root/repo/build/tests/nand_array_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_resources_test[1]_include.cmake")
+include("/root/repo/build/tests/ssd_ftl_test[1]_include.cmake")
+include("/root/repo/build/tests/ssd_governor_test[1]_include.cmake")
+include("/root/repo/build/tests/ssd_device_test[1]_include.cmake")
+include("/root/repo/build/tests/hdd_device_test[1]_include.cmake")
+include("/root/repo/build/tests/iogen_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/devmgmt_admin_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/model_fleet_test[1]_include.cmake")
+include("/root/repo/build/tests/core_campaign_test[1]_include.cmake")
+include("/root/repo/build/tests/core_controller_test[1]_include.cmake")
+include("/root/repo/build/tests/devices_specs_test[1]_include.cmake")
+include("/root/repo/build/tests/property_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_scenarios_test[1]_include.cmake")
+include("/root/repo/build/tests/model_latency_test[1]_include.cmake")
+include("/root/repo/build/tests/core_domains_test[1]_include.cmake")
+include("/root/repo/build/tests/common_zipf_test[1]_include.cmake")
+include("/root/repo/build/tests/ssd_apst_test[1]_include.cmake")
