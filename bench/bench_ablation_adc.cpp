@@ -4,9 +4,10 @@
 // to capture device power variability at all. This sweep runs the same
 // bursty workload while varying the rig's sample rate, ADC resolution, and
 // integrating-vs-point sampling, and reports what each configuration sees.
-#include <cstdio>
+#include <array>
 
-#include "bench_util.h"
+#include "core/cell_spec.h"
+#include "core/runner.h"
 #include "devices/specs.h"
 #include "iogen/engine.h"
 #include "power/rig.h"
@@ -16,59 +17,65 @@
 namespace pas {
 namespace {
 
-struct Observed {
-  double mean_w = 0.0;
-  double stddev_w = 0.0;
-  double min_w = 0.0;
-  double max_w = 0.0;
-  double energy_err_pct = 0.0;
-};
+// One rig configuration observing the same 100 ms-burst workload; the cell
+// reports what the rig saw (and its energy error vs the exact meter).
+core::CellSpec rig_cell(TimeNs period, int bits, bool integrating, const char* rate_name) {
+  core::CellSpec cell;
+  cell.device = devices::DeviceId::kSsd1;
+  cell.tag = std::string(rate_name) + " " + std::to_string(bits) + "bit " +
+             (integrating ? "integrating" : "point");
+  cell.body = [period, bits, integrating](const core::CellSpec&,
+                                          const core::ExperimentOptions&) {
+    // Fixed seeds (not the per-cell derived ones): every rig configuration
+    // must observe the identical device behaviour for the comparison to
+    // isolate the measurement pipeline.
+    sim::Simulator sim;
+    ssd::SsdDevice dev(sim, devices::ssd1_pm9a3(), 1);
+    auto rc = devices::rig_for(devices::DeviceId::kSsd1);
+    rc.sample_period = period;
+    rc.adc_bits = bits;
+    rc.integrating = integrating;
+    power::MeasurementRig rig(sim, dev, rc, 11);
+    rig.start();
 
-Observed run(TimeNs period, int bits, bool integrating) {
-  sim::Simulator sim;
-  ssd::SsdDevice dev(sim, devices::ssd1_pm9a3(), 1);
-  auto rc = devices::rig_for(devices::DeviceId::kSsd1);
-  rc.sample_period = period;
-  rc.adc_bits = bits;
-  rc.integrating = integrating;
-  power::MeasurementRig rig(sim, dev, rc, 11);
-  rig.start();
+    // Bursty workload: 100 ms write bursts separated by 100 ms idle gaps.
+    for (int burst = 0; burst < 10; ++burst) {
+      const TimeNs start = milliseconds(200 * burst);
+      sim.schedule_at(start, [&sim, &dev] {
+        for (int i = 0; i < 128; ++i) {
+          dev.submit(sim::IoRequest{sim::IoOp::kWrite,
+                                    static_cast<std::uint64_t>(i) * MiB, 1 * MiB},
+                     [](const sim::IoCompletion&) {});
+        }
+        (void)sim;
+      });
+    }
+    sim.run_until(seconds(2));
+    rig.stop();
 
-  // Bursty workload: 100 ms write bursts separated by 100 ms idle gaps.
-  for (int burst = 0; burst < 10; ++burst) {
-    const TimeNs start = milliseconds(200 * burst);
-    sim.schedule_at(start, [&sim, &dev] {
-      for (int i = 0; i < 128; ++i) {
-        dev.submit(sim::IoRequest{sim::IoOp::kWrite,
-                                  static_cast<std::uint64_t>(i) * MiB, 1 * MiB},
-                   [](const sim::IoCompletion&) {});
-      }
-      (void)sim;
-    });
-  }
-  sim.run_until(seconds(2));
-  rig.stop();
-
-  Observed o;
-  const auto& trace = rig.trace();
-  const auto d = trace.distribution();
-  o.mean_w = d.mean;
-  o.stddev_w = d.stddev;
-  o.min_w = d.min;
-  o.max_w = d.max;
-  const double truth = dev.consumed_energy();
-  o.energy_err_pct = (trace.energy() - truth) / truth * 100.0;
-  return o;
+    core::ExperimentOutput out;
+    out.point.device = devices::label(devices::DeviceId::kSsd1);
+    const auto& trace = rig.trace();
+    const auto d = trace.distribution();
+    out.point.avg_power_w = d.mean;
+    out.min_power_w = d.min;
+    out.max_power_w = d.max;
+    const double truth = dev.consumed_energy();
+    out.extras = {{"stddev_w", d.stddev},
+                  {"energy_err_pct", (trace.energy() - truth) / truth * 100.0}};
+    return out;
+  };
+  return cell;
 }
 
 }  // namespace
 }  // namespace pas
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace pas;
-  print_banner("Ablation A2: what the rig sees vs sampling rate / resolution / mode");
-  std::printf("SSD1 with 100 ms write bursts; ground truth from the exact energy meter\n\n");
-  Table t({"rate", "bits", "mode", "mean W", "stddev W", "min W", "max W", "energy err"});
+  const auto cli = core::parse_bench_cli(argc, argv);
+  ResultSink sink("ablation_adc", cli.csv_dir);
+
   struct Cfg {
     TimeNs period;
     const char* rate;
@@ -77,24 +84,36 @@ int main(int, char**) {
                        {milliseconds(1), "1 kHz"},
                        {milliseconds(10), "100 Hz"},
                        {milliseconds(100), "10 Hz"}};
+
+  std::vector<core::CellSpec> cells;
+  std::vector<std::array<std::string, 3>> labels;
   for (const auto& r : rates) {
     for (const bool integ : {true, false}) {
-      const auto o = run(r.period, 24, integ);
-      t.add_row({r.rate, "24", integ ? "integrating" : "point", Table::fmt(o.mean_w, 2),
-                 Table::fmt(o.stddev_w, 2), Table::fmt(o.min_w, 2), Table::fmt(o.max_w, 2),
-                 Table::fmt(o.energy_err_pct, 2) + "%"});
+      cells.push_back(rig_cell(r.period, 24, integ, r.rate));
+      labels.push_back({r.rate, "24", integ ? "integrating" : "point"});
     }
   }
   for (const int bits : {10, 16, 24}) {
-    const auto o = run(milliseconds(1), bits, true);
-    t.add_row({"1 kHz", Table::fmt_int(bits), "integrating", Table::fmt(o.mean_w, 2),
-               Table::fmt(o.stddev_w, 2), Table::fmt(o.min_w, 2), Table::fmt(o.max_w, 2),
-               Table::fmt(o.energy_err_pct, 2) + "%"});
+    cells.push_back(rig_cell(milliseconds(1), bits, true, "1 kHz"));
+    labels.push_back({"1 kHz", Table::fmt_int(bits), "integrating"});
   }
-  t.print();
-  std::printf("\nSlow point sampling misses the bursts entirely (stddev collapses and the\n"
-              "max underestimates); the integrating 1 kHz rig — the paper's design point —\n"
-              "captures the distribution with <1%% energy error. Low-resolution ADCs add\n"
-              "visible quantization spread on the 12 V rail.\n");
-  return 0;
+
+  core::CampaignRunner runner(core::bench_runner_options(cli));
+  const auto out = runner.run(cells);
+
+  sink.banner("Ablation A2: what the rig sees vs sampling rate / resolution / mode");
+  sink.note("SSD1 with 100 ms write bursts; ground truth from the exact energy meter\n\n");
+  Table t({"rate", "bits", "mode", "mean W", "stddev W", "min W", "max W", "energy err"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& o = out[i];
+    t.add_row({labels[i][0], labels[i][1], labels[i][2], Table::fmt(o.point.avg_power_w, 2),
+               Table::fmt(o.extra("stddev_w"), 2), Table::fmt(o.min_power_w, 2),
+               Table::fmt(o.max_power_w, 2), Table::fmt(o.extra("energy_err_pct"), 2) + "%"});
+  }
+  sink.table("sweep", t);
+  sink.note("\nSlow point sampling misses the bursts entirely (stddev collapses and the\n"
+            "max underestimates); the integrating 1 kHz rig — the paper's design point —\n"
+            "captures the distribution with <1%% energy error. Low-resolution ADCs add\n"
+            "visible quantization spread on the 12 V rail.\n");
+  return core::report_failures(runner);
 }

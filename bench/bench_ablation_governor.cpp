@@ -5,9 +5,8 @@
 // DESIGN.md calls out: larger burst/hysteresis windows preserve more
 // throughput burst behaviour but blow up write tail latency, while the
 // 10 s window-average compliance holds throughout.
-#include <cstdio>
-
-#include "bench_util.h"
+#include "core/cell_spec.h"
+#include "core/runner.h"
 #include "devices/specs.h"
 #include "devmgmt/admin.h"
 #include "iogen/engine.h"
@@ -18,63 +17,76 @@
 namespace pas {
 namespace {
 
-struct Result {
-  double tput = 0.0;
-  double avg_us = 0.0;
-  double p99_us = 0.0;
-  Watts mean_w = 0.0;
-  Watts window10s_w = 0.0;
-  std::uint64_t throttle_events = 0;
-};
+// SSD2 with overridden governor windows — cells the DeviceId factories
+// can't express, so the spec carries a custom body.
+core::CellSpec governor_cell(double burst_s, double hysteresis_s) {
+  core::CellSpec cell;
+  cell.device = devices::DeviceId::kSsd2;
+  cell.power_state = 2;  // 10 W cap
+  cell.job = core::make_job(iogen::Pattern::kSequential, iogen::OpKind::kWrite, 256 * KiB, 64);
+  cell.job.io_limit_bytes = 0;  // purely time-limited: 30 s sustained
+  cell.job.time_limit = seconds(30);
+  cell.tag = "burst=" + Table::fmt(burst_s, 3) + " hyst=" + Table::fmt(hysteresis_s, 3);
+  cell.body = [burst_s, hysteresis_s](const core::CellSpec& spec,
+                                      const core::ExperimentOptions& o) {
+    sim::Simulator sim;
+    auto cfg = devices::ssd2_p5510();
+    cfg.governor_burst_seconds = burst_s;
+    cfg.governor_hysteresis_seconds = hysteresis_s;
+    ssd::SsdDevice dev(sim, cfg, o.seed);
+    devmgmt::NvmeAdmin(dev).set_power_state(spec.power_state);
+    power::MeasurementRig rig(sim, dev, devices::rig_for(devices::DeviceId::kSsd2),
+                              o.seed ^ 0x9E3779B97F4A7C15ULL);
+    rig.start();
+    const auto r = iogen::run_job(sim, dev, spec.job);
+    rig.stop();
 
-Result run(double burst_s, double hysteresis_s) {
-  sim::Simulator sim;
-  auto cfg = devices::ssd2_p5510();
-  cfg.governor_burst_seconds = burst_s;
-  cfg.governor_hysteresis_seconds = hysteresis_s;
-  ssd::SsdDevice dev(sim, cfg, 1);
-  devmgmt::NvmeAdmin(dev).set_power_state(2);  // 10 W cap
-  power::MeasurementRig rig(sim, dev, devices::rig_for(devices::DeviceId::kSsd2), 7);
-  rig.start();
-
-  iogen::JobSpec spec = bench::job(iogen::Pattern::kSequential, iogen::OpKind::kWrite,
-                                   256 * KiB, 64);
-  spec.io_limit_bytes = 64ULL * GiB;   // force the 30 s time limit to bind
-  spec.time_limit = seconds(30);
-  const auto r = iogen::run_job(sim, dev, spec);
-  rig.stop();
-
-  Result out;
-  out.tput = r.throughput_mib_s();
-  out.avg_us = r.avg_latency_us();
-  out.p99_us = r.p99_latency_us();
-  out.mean_w = rig.trace().mean_power();
-  out.window10s_w = rig.trace().max_window_average(seconds(10));
-  out.throttle_events = dev.governor().throttle_events();
-  return out;
+    core::ExperimentOutput out;
+    out.job = r;
+    out.point.device = devices::label(spec.device);
+    out.point.power_state = spec.power_state;
+    out.point.avg_power_w = rig.trace().mean_power();
+    out.point.throughput_mib_s = r.throughput_mib_s();
+    out.point.avg_latency_us = r.avg_latency_us();
+    out.point.p99_latency_us = r.p99_latency_us();
+    out.max_window10s_w = rig.trace().max_window_average(seconds(10));
+    return out;
+  };
+  return cell;
 }
 
 }  // namespace
 }  // namespace pas
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace pas;
-  print_banner("Ablation A1: governor burst/hysteresis vs throughput, tails, compliance");
-  std::printf("SSD2 at ps2 (10 W cap), sequential write 256 KiB qd64, 30 s sustained\n\n");
-  Table t({"burst (s)", "hyst (s)", "MiB/s", "avg us", "p99 us", "mean W", "max 10s-avg W"});
+  const auto cli = core::parse_bench_cli(argc, argv);
+  ResultSink sink("ablation_governor", cli.csv_dir);
+
   const double bursts[] = {0.01, 0.05, 0.25, 1.0};
   const double hysts[] = {0.0, 0.002, 0.02};
+  std::vector<core::CellSpec> cells;
+  for (const double b : bursts) {
+    for (const double h : hysts) cells.push_back(governor_cell(b, h));
+  }
+  core::CampaignRunner runner(core::bench_runner_options(cli));
+  const auto out = runner.run(cells);
+
+  sink.banner("Ablation A1: governor burst/hysteresis vs throughput, tails, compliance");
+  sink.note("SSD2 at ps2 (10 W cap), sequential write 256 KiB qd64, 30 s sustained\n\n");
+  Table t({"burst (s)", "hyst (s)", "MiB/s", "avg us", "p99 us", "mean W", "max 10s-avg W"});
+  std::size_t i = 0;
   for (const double b : bursts) {
     for (const double h : hysts) {
-      const auto r = run(b, h);
-      t.add_row({Table::fmt(b, 3), Table::fmt(h, 3), Table::fmt(r.tput, 0),
-                 Table::fmt(r.avg_us, 0), Table::fmt(r.p99_us, 0), Table::fmt(r.mean_w, 2),
-                 Table::fmt(r.window10s_w, 2)});
+      const auto& r = out[i++];
+      t.add_row({Table::fmt(b, 3), Table::fmt(h, 3), Table::fmt(r.point.throughput_mib_s, 0),
+                 Table::fmt(r.point.avg_latency_us, 0), Table::fmt(r.point.p99_latency_us, 0),
+                 Table::fmt(r.point.avg_power_w, 2), Table::fmt(r.max_window10s_w, 2)});
     }
   }
-  t.print();
-  std::printf("\nInvariant: every max 10s-average stays at/below the 10 W cap (+measurement\n"
-              "noise), regardless of enforcement granularity. Coarser enforcement mostly\n"
-              "shows up in the p99 column.\n");
-  return 0;
+  sink.table("sweep", t);
+  sink.note("\nInvariant: every max 10s-average stays at/below the 10 W cap (+measurement\n"
+            "noise), regardless of enforcement granularity. Coarser enforcement mostly\n"
+            "shows up in the p99 column.\n");
+  return core::report_failures(runner);
 }

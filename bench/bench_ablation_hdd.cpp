@@ -5,9 +5,8 @@
 // throughput (abstract: "1/25 of maximum"). That floor is highly sensitive
 // to whether the drive's write-back cache (with elevator destaging) and NCQ
 // are in play; this sweep brackets the paper's number.
-#include <cstdio>
-
-#include "bench_util.h"
+#include "core/cell_spec.h"
+#include "core/runner.h"
 #include "devices/specs.h"
 #include "hdd/device.h"
 #include "iogen/engine.h"
@@ -16,59 +15,91 @@
 namespace pas {
 namespace {
 
-double run(bool write_cache, bool ncq, std::uint32_t bs, int qd, iogen::OpKind op) {
-  sim::Simulator sim;
-  auto cfg = devices::hdd_exos_7e2000();
-  cfg.write_cache_enabled = write_cache;
-  cfg.ncq_enabled = ncq;
-  hdd::HddDevice dev(sim, cfg);
-  iogen::JobSpec spec = bench::job(iogen::Pattern::kRandom, op, bs, qd);
-  spec.io_limit_bytes = 1 * GiB;
-  spec.time_limit = seconds(30);
-  return iogen::run_job(sim, dev, spec).throughput_mib_s();
+// HDD with overridden cache/NCQ feature bits — configurations the DeviceId
+// factories can't express, so each spec carries a custom body.
+core::CellSpec hdd_cell(bool write_cache, bool ncq, iogen::Pattern pattern, iogen::OpKind op,
+                        std::uint32_t bs, int qd, std::uint64_t io_limit) {
+  core::CellSpec cell;
+  cell.device = devices::DeviceId::kHdd;
+  cell.job = core::make_job(pattern, op, bs, qd);
+  cell.job.io_limit_bytes = io_limit;
+  cell.job.time_limit = seconds(30);
+  cell.tag = std::string("wc=") + (write_cache ? "on" : "off") +
+             " ncq=" + (ncq ? "on" : "off");
+  cell.body = [write_cache, ncq](const core::CellSpec& spec, const core::ExperimentOptions&) {
+    sim::Simulator sim;
+    auto cfg = devices::hdd_exos_7e2000();
+    cfg.write_cache_enabled = write_cache;
+    cfg.ncq_enabled = ncq;
+    hdd::HddDevice dev(sim, cfg);
+    core::ExperimentOutput out;
+    out.job = iogen::run_job(sim, dev, spec.job);
+    out.point.device = devices::label(spec.device);
+    out.point.chunk_bytes = spec.job.block_bytes;
+    out.point.queue_depth = spec.job.iodepth;
+    out.point.throughput_mib_s = out.job.throughput_mib_s();
+    return out;
+  };
+  return cell;
 }
 
 }  // namespace
 }  // namespace pas
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace pas;
-  print_banner("Ablation A3: HDD random-write floor vs write cache and NCQ");
-  Table t({"write cache", "NCQ", "randwrite 4KiB qd1", "randwrite 2MiB qd64",
-           "floor (4KiB/2MiB)"});
+  using iogen::OpKind;
+  using iogen::Pattern;
+  const auto cli = core::parse_bench_cli(argc, argv);
+  ResultSink sink("ablation_hdd", cli.csv_dir);
+
+  // Write floor: {wc, ncq} x {4 KiB qd1, 2 MiB qd64}; then NCQ on random
+  // reads: {ncq} x {qd1, qd32}.
+  std::vector<core::CellSpec> cells;
   for (const bool wc : {true, false}) {
     for (const bool ncq : {true, false}) {
-      const double small = run(wc, ncq, 4 * KiB, 1, iogen::OpKind::kWrite);
-      const double big = run(wc, ncq, 2 * MiB, 64, iogen::OpKind::kWrite);
+      cells.push_back(hdd_cell(wc, ncq, Pattern::kRandom, OpKind::kWrite, 4 * KiB, 1, 1 * GiB));
+      cells.push_back(hdd_cell(wc, ncq, Pattern::kRandom, OpKind::kWrite, 2 * MiB, 64, 1 * GiB));
+    }
+  }
+  const std::size_t read_begin = cells.size();
+  for (const bool ncq : {true, false}) {
+    cells.push_back(hdd_cell(true, ncq, Pattern::kRandom, OpKind::kRead, 4 * KiB, 1, 8 * MiB));
+    cells.push_back(hdd_cell(true, ncq, Pattern::kRandom, OpKind::kRead, 4 * KiB, 32, 8 * MiB));
+  }
+
+  core::CampaignRunner runner(core::bench_runner_options(cli));
+  const auto out = runner.run(cells);
+
+  sink.banner("Ablation A3: HDD random-write floor vs write cache and NCQ");
+  Table t({"write cache", "NCQ", "randwrite 4KiB qd1", "randwrite 2MiB qd64",
+           "floor (4KiB/2MiB)"});
+  std::size_t i = 0;
+  for (const bool wc : {true, false}) {
+    for (const bool ncq : {true, false}) {
+      const double small = out[i].point.throughput_mib_s;
+      const double big = out[i + 1].point.throughput_mib_s;
+      i += 2;
       t.add_row({wc ? "on" : "off", ncq ? "on" : "off",
                  Table::fmt(small, 1) + " MiB/s", Table::fmt(big, 1) + " MiB/s",
                  Table::fmt_pct(small / big)});
     }
   }
-  t.print();
+  sink.table("write_floor", t);
 
-  print_banner("NCQ effect on random reads (4 KiB)");
+  sink.banner("NCQ effect on random reads (4 KiB)");
   Table r({"NCQ", "qd1 IOPS", "qd32 IOPS", "gain"});
+  i = read_begin;
   for (const bool ncq : {true, false}) {
-    sim::Simulator sim;
-    auto cfg = devices::hdd_exos_7e2000();
-    cfg.ncq_enabled = ncq;
-    auto run_reads = [&](int qd) {
-      sim::Simulator s2;
-      hdd::HddDevice dev(s2, cfg);
-      iogen::JobSpec spec = bench::job(iogen::Pattern::kRandom, iogen::OpKind::kRead, 4 * KiB, qd);
-      spec.io_limit_bytes = 8 * MiB;
-      spec.time_limit = seconds(30);
-      return iogen::run_job(s2, dev, spec).iops();
-    };
-    const double q1 = run_reads(1);
-    const double q32 = run_reads(32);
+    const double q1 = out[i].job.iops();
+    const double q32 = out[i + 1].job.iops();
+    i += 2;
     r.add_row({ncq ? "on" : "off", Table::fmt(q1, 0), Table::fmt(q32, 0),
                Table::fmt(q32 / q1, 2) + "x"});
   }
-  r.print();
-  std::printf("\nThe cache+elevator configuration brackets the paper's ~4%% floor; with the\n"
-              "cache off the floor collapses toward ~0.5%%, with it on the elevator keeps\n"
-              "small random writes within an order of magnitude of the paper's number.\n");
-  return 0;
+  sink.table("ncq_reads", r);
+  sink.note("\nThe cache+elevator configuration brackets the paper's ~4%% floor; with the\n"
+            "cache off the floor collapses toward ~0.5%%, with it on the elevator keeps\n"
+            "small random writes within an order of magnitude of the paper's number.\n");
+  return core::report_failures(runner);
 }

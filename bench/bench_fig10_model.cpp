@@ -8,7 +8,8 @@
 // best-effort load).
 #include <cstdio>
 
-#include "bench_util.h"
+#include "core/cell_spec.h"
+#include "core/runner.h"
 #include "devices/specs.h"
 #include "model/power_throughput.h"
 
@@ -36,19 +37,36 @@ void print_scatter(const model::PowerThroughputModel& m, const char* tag) {
   std::printf("        0.0 +%s> throughput 1.0\n", std::string(W, '-').c_str());
 }
 
+// Runs one device's random-write grid through the campaign runner and
+// mirrors the raw measured points through the sink.
+std::vector<core::ExperimentOutput> run_grid(devices::DeviceId id, bool across_power_states,
+                                             const core::BenchCli& cli, ResultSink& sink,
+                                             const std::string& slug) {
+  const auto cells = core::randwrite_grid_specs(id, across_power_states);
+  core::CampaignRunner runner(core::bench_runner_options(cli));
+  auto outputs = runner.run(cells);
+  (void)core::report_failures(runner);
+  sink.data("points_" + slug, core::points_table(cells, outputs));
+  return outputs;
+}
+
 }  // namespace
 }  // namespace pas
 
 int main(int argc, char** argv) {
   using namespace pas;
-  const auto options = bench::parse_options(argc, argv);
+  const auto cli = core::parse_bench_cli(argc, argv);
+  // Console output of the raw grids is noise; only mirror them when a CSV
+  // dir is configured.
+  ResultSink sink("fig10", cli.csv_dir);
 
   print_banner("Figure 10a: power-throughput model across devices (random write, ps0)");
   const devices::DeviceId ids[] = {devices::DeviceId::kSsd1, devices::DeviceId::kSsd2,
                                    devices::DeviceId::kSsd3, devices::DeviceId::kHdd};
   Table summary({"device", "min W", "max W", "dyn range", "min tput frac", "paper"});
+  std::vector<core::ExperimentOutput> ssd1_grid;
   for (const auto id : ids) {
-    const auto outputs = core::randwrite_grid(id, /*across_power_states=*/false, options);
+    auto outputs = run_grid(id, /*across_power_states=*/false, cli, sink, devices::label(id));
     const auto m = core::build_model(devices::label(id), outputs);
     print_scatter(m, devices::label(id));
     const char* paper = "";
@@ -57,33 +75,33 @@ int main(int argc, char** argv) {
     summary.add_row({devices::label(id), Table::fmt(m.min_power(), 2),
                      Table::fmt(m.max_power(), 2), Table::fmt_pct(m.power_dynamic_range()),
                      Table::fmt_pct(m.min_throughput_fraction()), paper});
+    if (id == devices::DeviceId::kSsd1) ssd1_grid = std::move(outputs);
   }
-  print_banner("Figure 10a summary");
-  summary.print();
+  sink.banner("Figure 10a summary");
+  sink.table("a_summary", summary);
 
-  print_banner("Figure 10b: SSD2 across power states (random write grid x ps0/ps1/ps2)");
-  const auto ssd2_all = core::randwrite_grid(devices::DeviceId::kSsd2, true, options);
+  sink.banner("Figure 10b: SSD2 across power states (random write grid x ps0/ps1/ps2)");
+  const auto ssd2_all = run_grid(devices::DeviceId::kSsd2, true, cli, sink, "SSD2_all_states");
   const auto m2 = core::build_model("SSD2", ssd2_all);
   print_scatter(m2, "SSD2 (all power states)");
-  std::printf("\nSSD2 power dynamic range across all mechanisms: %.1f%% (paper: 59.4%%)\n",
-              m2.power_dynamic_range() * 100.0);
+  sink.note("\nSSD2 power dynamic range across all mechanisms: %.1f%% (paper: 59.4%%)\n",
+            m2.power_dynamic_range() * 100.0);
 
-  print_banner("Section 3.3 worked example: SSD1 under a 20% power reduction");
+  sink.banner("Section 3.3 worked example: SSD1 under a 20% power reduction");
   {
-    const auto outputs = core::randwrite_grid(devices::DeviceId::kSsd1, false, options);
-    const auto m1 = core::build_model("SSD1", outputs);
+    const auto m1 = core::build_model("SSD1", ssd1_grid);
     const auto& peak = m1.max_throughput_point();
-    std::printf("operating point: %s at %.2f GiB/s, %.2f W\n", peak.config_label().c_str(),
-                peak.throughput_mib_s / 1024.0, peak.avg_power_w);
+    sink.note("operating point: %s at %.2f GiB/s, %.2f W\n", peak.config_label().c_str(),
+              peak.throughput_mib_s / 1024.0, peak.avg_power_w);
     const auto best = m1.best_under_power(peak.avg_power_w * 0.8);
     if (best.has_value()) {
       const double tput_frac = best->throughput_mib_s / peak.throughput_mib_s;
-      std::printf("20%% power cut -> %s: %.2f GiB/s (%.0f%% of peak), %.2f W\n",
-                  best->config_label().c_str(), best->throughput_mib_s / 1024.0,
-                  tput_frac * 100.0, best->avg_power_w);
-      std::printf("curtailable best-effort load: %.1f GiB/s (paper: 40%% x 3.3 = 1.3 GiB/s,\n"
-                  "via qd1 at 256 KiB)\n",
-                  (peak.throughput_mib_s - best->throughput_mib_s) / 1024.0);
+      sink.note("20%% power cut -> %s: %.2f GiB/s (%.0f%% of peak), %.2f W\n",
+                best->config_label().c_str(), best->throughput_mib_s / 1024.0, tput_frac * 100.0,
+                best->avg_power_w);
+      sink.note("curtailable best-effort load: %.1f GiB/s (paper: 40%% x 3.3 = 1.3 GiB/s,\n"
+                "via qd1 at 256 KiB)\n",
+                (peak.throughput_mib_s - best->throughput_mib_s) / 1024.0);
     }
   }
   return 0;

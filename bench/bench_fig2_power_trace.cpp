@@ -4,22 +4,15 @@
 // experiment.
 #include <cstdio>
 
-#include "bench_util.h"
 #include "common/histogram.h"
+#include "core/cell_spec.h"
+#include "core/runner.h"
 #include "devices/specs.h"
 
 namespace pas {
 namespace {
 
 using devices::DeviceId;
-
-core::ExperimentOutput run_fig2_cell(DeviceId id, const core::ExperimentOptions& base) {
-  core::ExperimentOptions o = base;
-  o.keep_trace = true;
-  return core::run_cell(id, 0,
-                        bench::job(iogen::Pattern::kRandom, iogen::OpKind::kWrite, 256 * KiB, 64),
-                        o);
-}
 
 void print_trace_ascii(const power::PowerTrace& trace, TimeNs from, TimeNs to, TimeNs step) {
   const auto slice = trace.slice(from, to);
@@ -53,23 +46,34 @@ void print_violin(const char* name, const power::PowerTrace& trace) {
 
 int main(int argc, char** argv) {
   using namespace pas;
-  const auto options = bench::parse_options(argc, argv);
+  auto cli = core::parse_bench_cli(argc, argv);
+  cli.experiment.keep_trace = true;
+  ResultSink sink("fig2", cli.csv_dir);
 
-  print_banner("Figure 2a: SSD1 random write power trace (256 KiB, qd 64), 1 kHz sampling");
-  const auto ssd1 = run_fig2_cell(DeviceId::kSsd1, options);
-  std::printf("samples every 10 ms over the first 1.2 s of the experiment:\n");
+  // The same cell on every device, traces retained.
+  const auto cells = core::GridBuilder()
+                         .devices({DeviceId::kSsd1, DeviceId::kSsd2, DeviceId::kSsd3,
+                                   DeviceId::kHdd})
+                         .base_job(core::make_job(iogen::Pattern::kRandom,
+                                                  iogen::OpKind::kWrite, 256 * KiB, 64))
+                         .cross();
+  core::CampaignRunner runner(core::bench_runner_options(cli));
+  const auto out = runner.run(cells);
+
+  sink.banner("Figure 2a: SSD1 random write power trace (256 KiB, qd 64), 1 kHz sampling");
+  const auto& ssd1 = out[0];
+  sink.note("samples every 10 ms over the first 1.2 s of the experiment:\n");
   print_trace_ascii(ssd1.trace, 0, milliseconds(1200), milliseconds(10));
-  std::printf("\ntrace: mean %.2f W, min %.2f W, max %.2f W over %zu samples\n",
-              ssd1.trace.mean_power(), ssd1.trace.min_power(), ssd1.trace.max_power(),
-              ssd1.trace.size());
+  sink.note("\ntrace: mean %.2f W, min %.2f W, max %.2f W over %zu samples\n",
+            ssd1.trace.mean_power(), ssd1.trace.min_power(), ssd1.trace.max_power(),
+            ssd1.trace.size());
 
-  print_banner("Figure 2b: power distribution per device during the same experiment");
-  print_violin("SSD1", ssd1.trace);
-  for (DeviceId id : {DeviceId::kSsd2, DeviceId::kSsd3, DeviceId::kHdd}) {
-    const auto out = run_fig2_cell(id, options);
-    print_violin(devices::label(id), out.trace);
+  sink.banner("Figure 2b: power distribution per device during the same experiment");
+  for (std::size_t d = 0; d < cells.size(); ++d) {
+    print_violin(devices::label(cells[d].device), out[d].trace);
   }
-  std::printf("\nPaper: substantial short-timescale variability on SSD1; medians and means\n"
-              "nearly overlap; some devices show more variability than others.\n");
-  return 0;
+  sink.data("cells", core::points_table(cells, out));
+  sink.note("\nPaper: substantial short-timescale variability on SSD1; medians and means\n"
+            "nearly overlap; some devices show more variability than others.\n");
+  return core::report_failures(runner);
 }

@@ -1,32 +1,45 @@
 // Reproduces Figure 3: SSD2 random-write average power under power states
 // ps0/ps1/ps2, across chunk sizes, at (a) queue depth 64 and (b) queue
 // depth 1.
-#include <cstdio>
-
-#include "bench_util.h"
+#include "core/cell_spec.h"
+#include "core/runner.h"
 #include "devices/specs.h"
 
 int main(int argc, char** argv) {
   using namespace pas;
-  const auto options = bench::parse_options(argc, argv);
+  const auto cli = core::parse_bench_cli(argc, argv);
+  ResultSink sink("fig3", cli.csv_dir);
 
-  for (const int qd : {64, 1}) {
-    print_banner(std::string("Figure 3") + (qd == 64 ? "a" : "b") +
-                 ": SSD2 random write average power (W), queue depth " + std::to_string(qd));
+  // One grid for both panels: ps (3) x chunk (6) x qd {64, 1}.
+  const std::vector<int> qds = {64, 1};
+  const auto cells = core::GridBuilder()
+                         .device(devices::DeviceId::kSsd2)
+                         .power_states({0, 1, 2})
+                         .base_job(core::make_job(iogen::Pattern::kRandom,
+                                                  iogen::OpKind::kWrite, 4 * KiB, 1))
+                         .chunks(core::chunk_sizes())
+                         .queue_depths(qds)
+                         .cross();
+  core::CampaignRunner runner(core::bench_runner_options(cli));
+  const auto out = runner.run(cells);
+  const auto at = [&](std::size_t ps, std::size_t c, std::size_t q) -> const auto& {
+    return out[(ps * core::chunk_sizes().size() + c) * qds.size() + q];
+  };
+
+  for (std::size_t q = 0; q < qds.size(); ++q) {
+    sink.banner(std::string("Figure 3") + (qds[q] == 64 ? "a" : "b") +
+                ": SSD2 random write average power (W), queue depth " + std::to_string(qds[q]));
     Table t({"chunk", "ps0", "ps1 (cap 12W)", "ps2 (cap 10W)"});
-    for (const std::uint32_t bs : core::chunk_sizes()) {
-      std::vector<std::string> row{bench::kib_label(bs)};
-      for (const int ps : {0, 1, 2}) {
-        const auto out = core::run_cell(
-            devices::DeviceId::kSsd2, ps,
-            bench::job(iogen::Pattern::kRandom, iogen::OpKind::kWrite, bs, qd), options);
-        row.push_back(Table::fmt(out.point.avg_power_w, 2));
+    for (std::size_t c = 0; c < core::chunk_sizes().size(); ++c) {
+      std::vector<std::string> row{kib_label(core::chunk_sizes()[c])};
+      for (std::size_t ps = 0; ps < 3; ++ps) {
+        row.push_back(Table::fmt(at(ps, c, q).point.avg_power_w, 2));
       }
       t.add_row(std::move(row));
     }
-    t.print();
+    sink.table(qds[q] == 64 ? "a_qd64" : "b_qd1", t);
   }
-  std::printf("\nPaper: caps bind at large chunks (power clamps to ~12 W / ~10 W); at small\n"
-              "chunks the device draws less than the caps and the states converge.\n");
-  return 0;
+  sink.note("\nPaper: caps bind at large chunks (power clamps to ~12 W / ~10 W); at small\n"
+            "chunks the device draws less than the caps and the states converge.\n");
+  return core::report_failures(runner);
 }

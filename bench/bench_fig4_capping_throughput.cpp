@@ -1,35 +1,45 @@
 // Reproduces Figure 4: SSD2 sequential throughput under power states at
 // queue depth 64 — (a) sequential writes suffer (ps1 = 74% of ps0,
 // ps2 = 55%), (b) sequential reads barely change.
-#include <cstdio>
-
-#include "bench_util.h"
+#include "core/cell_spec.h"
+#include "core/runner.h"
 #include "devices/specs.h"
 
 int main(int argc, char** argv) {
   using namespace pas;
-  const auto options = bench::parse_options(argc, argv);
+  const auto cli = core::parse_bench_cli(argc, argv);
+  ResultSink sink("fig4", cli.csv_dir);
+
+  // ps (3) x op {write, read} x chunk (6), sequential, qd 64.
+  const std::vector<iogen::OpKind> ops = {iogen::OpKind::kWrite, iogen::OpKind::kRead};
+  const auto cells = core::GridBuilder()
+                         .device(devices::DeviceId::kSsd2)
+                         .power_states({0, 1, 2})
+                         .patterns({iogen::Pattern::kSequential})
+                         .ops(ops)
+                         .chunks(core::chunk_sizes())
+                         .queue_depths({64})
+                         .cross();
+  core::CampaignRunner runner(core::bench_runner_options(cli));
+  const auto out = runner.run(cells);
+  const auto tput = [&](std::size_t ps, std::size_t op, std::size_t c) {
+    return out[(ps * ops.size() + op) * core::chunk_sizes().size() + c].point.throughput_mib_s;
+  };
 
   double write_ratio1 = 0.0;
   double write_ratio2 = 0.0;
   double read_ratio2 = 0.0;
-
-  for (const auto op : {iogen::OpKind::kWrite, iogen::OpKind::kRead}) {
-    const bool is_write = op == iogen::OpKind::kWrite;
-    print_banner(std::string("Figure 4") + (is_write ? "a" : "b") + ": SSD2 sequential " +
-                 (is_write ? "writes" : "reads") + " (MiB/s), queue depth 64");
+  for (std::size_t op = 0; op < ops.size(); ++op) {
+    const bool is_write = ops[op] == iogen::OpKind::kWrite;
+    sink.banner(std::string("Figure 4") + (is_write ? "a" : "b") + ": SSD2 sequential " +
+                (is_write ? "writes" : "reads") + " (MiB/s), queue depth 64");
     Table t({"chunk", "ps0", "ps1", "ps2", "ps1/ps0", "ps2/ps0"});
-    for (const std::uint32_t bs : core::chunk_sizes()) {
-      double tp[3] = {};
-      for (const int ps : {0, 1, 2}) {
-        tp[ps] = core::run_cell(devices::DeviceId::kSsd2, ps,
-                                bench::job(iogen::Pattern::kSequential, op, bs, 64), options)
-                     .point.throughput_mib_s;
-      }
-      t.add_row({bench::kib_label(bs), Table::fmt(tp[0], 0), Table::fmt(tp[1], 0),
+    for (std::size_t c = 0; c < core::chunk_sizes().size(); ++c) {
+      const double tp[3] = {tput(0, op, c), tput(1, op, c), tput(2, op, c)};
+      t.add_row({kib_label(core::chunk_sizes()[c]), Table::fmt(tp[0], 0), Table::fmt(tp[1], 0),
                  Table::fmt(tp[2], 0), Table::fmt_pct(tp[1] / tp[0]),
                  Table::fmt_pct(tp[2] / tp[0])});
-      if (bs == 256 * KiB) {
+      if (core::chunk_sizes()[c] == 256 * KiB) {
         if (is_write) {
           write_ratio1 = tp[1] / tp[0];
           write_ratio2 = tp[2] / tp[0];
@@ -38,13 +48,12 @@ int main(int argc, char** argv) {
         }
       }
     }
-    t.print();
+    sink.table(is_write ? "a_seq_write" : "b_seq_read", t);
   }
 
-  std::printf("\nHeadline comparison at 256 KiB:\n");
-  std::printf("  seq write ps1/ps0: measured %.0f%%  (paper: 74%%)\n", write_ratio1 * 100);
-  std::printf("  seq write ps2/ps0: measured %.0f%%  (paper: 55%%)\n", write_ratio2 * 100);
-  std::printf("  seq read  ps2/ps0: measured %.0f%%  (paper: minimal drop)\n",
-              read_ratio2 * 100);
-  return 0;
+  sink.note("\nHeadline comparison at 256 KiB:\n");
+  sink.note("  seq write ps1/ps0: measured %.0f%%  (paper: 74%%)\n", write_ratio1 * 100);
+  sink.note("  seq write ps2/ps0: measured %.0f%%  (paper: 55%%)\n", write_ratio2 * 100);
+  sink.note("  seq read  ps2/ps0: measured %.0f%%  (paper: minimal drop)\n", read_ratio2 * 100);
+  return core::report_failures(runner);
 }

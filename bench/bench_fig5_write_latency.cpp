@@ -1,38 +1,51 @@
 // Reproduces Figure 5: SSD2 random-write latency at queue depth 1,
 // normalized to ps0 — (a) average (paper: up to ~2x), (b) 99th percentile
 // (paper: up to 6.19x under ps2).
-#include <cstdio>
+#include <algorithm>
 
-#include "bench_util.h"
+#include "core/cell_spec.h"
+#include "core/runner.h"
 #include "devices/specs.h"
 
 int main(int argc, char** argv) {
   using namespace pas;
-  const auto options = bench::parse_options(argc, argv);
+  const auto cli = core::parse_bench_cli(argc, argv);
+  ResultSink sink("fig5", cli.csv_dir);
 
-  print_banner("Figure 5: SSD2 random write latency (qd 1), normalized to ps0");
+  const auto cells = core::GridBuilder()
+                         .device(devices::DeviceId::kSsd2)
+                         .power_states({0, 1, 2})
+                         .base_job(core::make_job(iogen::Pattern::kRandom,
+                                                  iogen::OpKind::kWrite, 4 * KiB, 1))
+                         .chunks(core::chunk_sizes())
+                         .cross();
+  core::CampaignRunner runner(core::bench_runner_options(cli));
+  const auto out = runner.run(cells);
+  const auto at = [&](std::size_t ps, std::size_t c) -> const auto& {
+    return out[ps * core::chunk_sizes().size() + c];
+  };
+
+  sink.banner("Figure 5: SSD2 random write latency (qd 1), normalized to ps0");
   Table t({"chunk", "ps0 avg us", "ps1 avg x", "ps2 avg x", "ps0 p99 us", "ps1 p99 x",
            "ps2 p99 x"});
   double worst_avg = 0.0;
   double worst_p99 = 0.0;
-  for (const std::uint32_t bs : core::chunk_sizes()) {
+  for (std::size_t c = 0; c < core::chunk_sizes().size(); ++c) {
     double avg[3] = {};
     double p99[3] = {};
-    for (const int ps : {0, 1, 2}) {
-      const auto out = core::run_cell(
-          devices::DeviceId::kSsd2, ps,
-          bench::job(iogen::Pattern::kRandom, iogen::OpKind::kWrite, bs, 1), options);
-      avg[ps] = out.point.avg_latency_us;
-      p99[ps] = out.point.p99_latency_us;
+    for (std::size_t ps = 0; ps < 3; ++ps) {
+      avg[ps] = at(ps, c).point.avg_latency_us;
+      p99[ps] = at(ps, c).point.p99_latency_us;
     }
     worst_avg = std::max(worst_avg, std::max(avg[1], avg[2]) / avg[0]);
     worst_p99 = std::max(worst_p99, std::max(p99[1], p99[2]) / p99[0]);
-    t.add_row({bench::kib_label(bs), Table::fmt(avg[0], 1), Table::fmt(avg[1] / avg[0], 2),
-               Table::fmt(avg[2] / avg[0], 2), Table::fmt(p99[0], 1),
-               Table::fmt(p99[1] / p99[0], 2), Table::fmt(p99[2] / p99[0], 2)});
+    t.add_row({kib_label(core::chunk_sizes()[c]), Table::fmt(avg[0], 1),
+               Table::fmt(avg[1] / avg[0], 2), Table::fmt(avg[2] / avg[0], 2),
+               Table::fmt(p99[0], 1), Table::fmt(p99[1] / p99[0], 2),
+               Table::fmt(p99[2] / p99[0], 2)});
   }
-  t.print();
-  std::printf("\nWorst-case normalized average latency: %.2fx (paper: up to 2x)\n", worst_avg);
-  std::printf("Worst-case normalized p99 latency:     %.2fx (paper: up to 6.19x)\n", worst_p99);
-  return 0;
+  sink.table("latency", t);
+  sink.note("\nWorst-case normalized average latency: %.2fx (paper: up to 2x)\n", worst_avg);
+  sink.note("Worst-case normalized p99 latency:     %.2fx (paper: up to 6.19x)\n", worst_p99);
+  return core::report_failures(runner);
 }

@@ -2,40 +2,53 @@
 // power states. The paper's "non-trade-off": no noticeable difference in
 // average or 99th-percentile latency, because qd1 reads never load the
 // device enough to be power capped.
-#include <cstdio>
+#include <algorithm>
 
-#include "bench_util.h"
+#include "core/cell_spec.h"
+#include "core/runner.h"
 #include "devices/specs.h"
 
 int main(int argc, char** argv) {
   using namespace pas;
-  auto options = bench::parse_options(argc, argv);
+  auto cli = core::parse_bench_cli(argc, argv);
   // qd1 4 KiB reads take ~82 us each: scale the byte budget down so the
   // default run finishes promptly while still collecting >10^5 samples.
-  options.io_limit_scale *= 0.25;
+  cli.experiment.io_limit_scale *= 0.25;
+  ResultSink sink("fig6", cli.csv_dir);
 
-  print_banner("Figure 6: SSD2 random read latency (qd 1), normalized to ps0");
+  const auto cells = core::GridBuilder()
+                         .device(devices::DeviceId::kSsd2)
+                         .power_states({0, 1, 2})
+                         .base_job(core::make_job(iogen::Pattern::kRandom,
+                                                  iogen::OpKind::kRead, 4 * KiB, 1))
+                         .chunks(core::chunk_sizes())
+                         .cross();
+  core::CampaignRunner runner(core::bench_runner_options(cli));
+  const auto out = runner.run(cells);
+  const auto at = [&](std::size_t ps, std::size_t c) -> const auto& {
+    return out[ps * core::chunk_sizes().size() + c];
+  };
+
+  sink.banner("Figure 6: SSD2 random read latency (qd 1), normalized to ps0");
   Table t({"chunk", "ps0 avg us", "ps1 avg x", "ps2 avg x", "ps0 p99 us", "ps1 p99 x",
            "ps2 p99 x"});
   double worst = 1.0;
-  for (const std::uint32_t bs : core::chunk_sizes()) {
+  for (std::size_t c = 0; c < core::chunk_sizes().size(); ++c) {
     double avg[3] = {};
     double p99[3] = {};
-    for (const int ps : {0, 1, 2}) {
-      const auto out = core::run_cell(
-          devices::DeviceId::kSsd2, ps,
-          bench::job(iogen::Pattern::kRandom, iogen::OpKind::kRead, bs, 1), options);
-      avg[ps] = out.point.avg_latency_us;
-      p99[ps] = out.point.p99_latency_us;
+    for (std::size_t ps = 0; ps < 3; ++ps) {
+      avg[ps] = at(ps, c).point.avg_latency_us;
+      p99[ps] = at(ps, c).point.p99_latency_us;
     }
     worst = std::max({worst, avg[1] / avg[0], avg[2] / avg[0], p99[1] / p99[0],
                       p99[2] / p99[0]});
-    t.add_row({bench::kib_label(bs), Table::fmt(avg[0], 1), Table::fmt(avg[1] / avg[0], 3),
-               Table::fmt(avg[2] / avg[0], 3), Table::fmt(p99[0], 1),
-               Table::fmt(p99[1] / p99[0], 3), Table::fmt(p99[2] / p99[0], 3)});
+    t.add_row({kib_label(core::chunk_sizes()[c]), Table::fmt(avg[0], 1),
+               Table::fmt(avg[1] / avg[0], 3), Table::fmt(avg[2] / avg[0], 3),
+               Table::fmt(p99[0], 1), Table::fmt(p99[1] / p99[0], 3),
+               Table::fmt(p99[2] / p99[0], 3)});
   }
-  t.print();
-  std::printf("\nWorst deviation from ps0 across all chunk sizes and states: %.3fx\n", worst);
-  std::printf("Paper: no noticeable difference between power states.\n");
-  return 0;
+  sink.table("latency", t);
+  sink.note("\nWorst deviation from ps0 across all chunk sizes and states: %.3fx\n", worst);
+  sink.note("Paper: no noticeable difference between power states.\n");
+  return core::report_failures(runner);
 }

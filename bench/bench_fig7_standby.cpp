@@ -4,7 +4,7 @@
 // plus the HDD numbers: standby 1.05 W vs 3.76 W idle, spin-down/up seconds.
 #include <cstdio>
 
-#include "bench_util.h"
+#include "common/table.h"
 #include "devices/specs.h"
 #include "devmgmt/admin.h"
 #include "power/rig.h"

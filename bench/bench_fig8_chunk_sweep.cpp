@@ -3,57 +3,62 @@
 //
 // Paper headline: 4 KiB chunks consume up to 30% less power than 2 MiB
 // chunks, at up to 50% (and more) performance loss.
-#include <cstdio>
-
-#include "bench_util.h"
+#include "core/cell_spec.h"
+#include "core/runner.h"
 #include "devices/specs.h"
 
 int main(int argc, char** argv) {
   using namespace pas;
-  const auto options = bench::parse_options(argc, argv);
-  const devices::DeviceId ids[] = {devices::DeviceId::kSsd2, devices::DeviceId::kSsd1,
-                                   devices::DeviceId::kSsd3, devices::DeviceId::kHdd};
-
-  std::vector<std::vector<double>> power(4), tput(4);
-  for (std::size_t d = 0; d < 4; ++d) {
-    for (const std::uint32_t bs : core::chunk_sizes()) {
-      const auto out = core::run_cell(
-          ids[d], 0, bench::job(iogen::Pattern::kRandom, iogen::OpKind::kWrite, bs, 64),
-          options);
-      power[d].push_back(out.point.avg_power_w);
-      tput[d].push_back(out.point.throughput_mib_s);
-    }
-  }
-
-  print_banner("Figure 8a: random write average power (W) vs chunk size, qd 64");
-  {
-    Table t({"chunk", "SSD2", "SSD1", "SSD3", "HDD"});
-    for (std::size_t c = 0; c < core::chunk_sizes().size(); ++c) {
-      t.add_row({bench::kib_label(core::chunk_sizes()[c]), Table::fmt(power[0][c], 2),
-                 Table::fmt(power[1][c], 2), Table::fmt(power[2][c], 2),
-                 Table::fmt(power[3][c], 2)});
-    }
-    t.print();
-  }
-
-  print_banner("Figure 8b: random write throughput (MiB/s) vs chunk size, qd 64");
-  {
-    Table t({"chunk", "SSD2", "SSD1", "SSD3", "HDD"});
-    for (std::size_t c = 0; c < core::chunk_sizes().size(); ++c) {
-      t.add_row({bench::kib_label(core::chunk_sizes()[c]), Table::fmt(tput[0][c], 0),
-                 Table::fmt(tput[1][c], 0), Table::fmt(tput[2][c], 0),
-                 Table::fmt(tput[3][c], 0)});
-    }
-    t.print();
-  }
-
-  std::printf("\n4 KiB vs 2 MiB (paper: up to 30%% less power, up to 50%%+ perf loss):\n");
+  const auto cli = core::parse_bench_cli(argc, argv);
+  ResultSink sink("fig8", cli.csv_dir);
+  const std::vector<devices::DeviceId> ids = {devices::DeviceId::kSsd2, devices::DeviceId::kSsd1,
+                                              devices::DeviceId::kSsd3, devices::DeviceId::kHdd};
   const char* names[] = {"SSD2", "SSD1", "SSD3", "HDD"};
-  for (std::size_t d = 0; d < 4; ++d) {
-    const std::size_t last = core::chunk_sizes().size() - 1;
-    std::printf("  %-5s power -%4.1f%%   throughput -%4.1f%%\n", names[d],
-                (1.0 - power[d][0] / power[d][last]) * 100.0,
-                (1.0 - tput[d][0] / tput[d][last]) * 100.0);
+
+  const auto cells = core::GridBuilder()
+                         .devices(ids)
+                         .base_job(core::make_job(iogen::Pattern::kRandom,
+                                                  iogen::OpKind::kWrite, 4 * KiB, 64))
+                         .chunks(core::chunk_sizes())
+                         .cross();
+  core::CampaignRunner runner(core::bench_runner_options(cli));
+  const auto out = runner.run(cells);
+  const auto at = [&](std::size_t d, std::size_t c) -> const auto& {
+    return out[d * core::chunk_sizes().size() + c];
+  };
+
+  sink.banner("Figure 8a: random write average power (W) vs chunk size, qd 64");
+  {
+    Table t({"chunk", "SSD2", "SSD1", "SSD3", "HDD"});
+    for (std::size_t c = 0; c < core::chunk_sizes().size(); ++c) {
+      t.add_row({kib_label(core::chunk_sizes()[c]), Table::fmt(at(0, c).point.avg_power_w, 2),
+                 Table::fmt(at(1, c).point.avg_power_w, 2),
+                 Table::fmt(at(2, c).point.avg_power_w, 2),
+                 Table::fmt(at(3, c).point.avg_power_w, 2)});
+    }
+    sink.table("a_power", t);
   }
-  return 0;
+
+  sink.banner("Figure 8b: random write throughput (MiB/s) vs chunk size, qd 64");
+  {
+    Table t({"chunk", "SSD2", "SSD1", "SSD3", "HDD"});
+    for (std::size_t c = 0; c < core::chunk_sizes().size(); ++c) {
+      t.add_row({kib_label(core::chunk_sizes()[c]),
+                 Table::fmt(at(0, c).point.throughput_mib_s, 0),
+                 Table::fmt(at(1, c).point.throughput_mib_s, 0),
+                 Table::fmt(at(2, c).point.throughput_mib_s, 0),
+                 Table::fmt(at(3, c).point.throughput_mib_s, 0)});
+    }
+    sink.table("b_throughput", t);
+  }
+
+  sink.note("\n4 KiB vs 2 MiB (paper: up to 30%% less power, up to 50%%+ perf loss):\n");
+  const std::size_t last = core::chunk_sizes().size() - 1;
+  for (std::size_t d = 0; d < ids.size(); ++d) {
+    sink.note("  %-5s power -%4.1f%%   throughput -%4.1f%%\n", names[d],
+              (1.0 - at(d, 0).point.avg_power_w / at(d, last).point.avg_power_w) * 100.0,
+              (1.0 - at(d, 0).point.throughput_mib_s / at(d, last).point.throughput_mib_s) *
+                  100.0);
+  }
+  return core::report_failures(runner);
 }

@@ -3,60 +3,65 @@
 //
 // Paper headline: qd1 consumes up to 40% less power than qd64, but may
 // deliver only ~10% of the performance.
-#include <cstdio>
-
-#include "bench_util.h"
+#include "core/cell_spec.h"
+#include "core/runner.h"
 #include "devices/specs.h"
 
 int main(int argc, char** argv) {
   using namespace pas;
-  auto options = bench::parse_options(argc, argv);
+  auto cli = core::parse_bench_cli(argc, argv);
   // 4 KiB random reads at low queue depth are the slowest SSD cells; a
   // fraction of the byte budget reaches steady state on every device.
-  options.io_limit_scale *= 0.25;
-  const devices::DeviceId ids[] = {devices::DeviceId::kSsd2, devices::DeviceId::kSsd1,
-                                   devices::DeviceId::kSsd3, devices::DeviceId::kHdd};
-
-  std::vector<std::vector<double>> power(4), tput(4);
-  for (std::size_t d = 0; d < 4; ++d) {
-    for (const int qd : core::queue_depths()) {
-      const auto out = core::run_cell(
-          ids[d], 0, bench::job(iogen::Pattern::kRandom, iogen::OpKind::kRead, 4 * KiB, qd),
-          options);
-      power[d].push_back(out.point.avg_power_w);
-      tput[d].push_back(out.point.throughput_mib_s);
-    }
-  }
-
-  print_banner("Figure 9a: random read average power (W) vs queue depth, 4 KiB chunks");
-  {
-    Table t({"qd", "SSD2", "SSD1", "SSD3", "HDD"});
-    for (std::size_t q = 0; q < core::queue_depths().size(); ++q) {
-      t.add_row({Table::fmt_int(core::queue_depths()[q]), Table::fmt(power[0][q], 2),
-                 Table::fmt(power[1][q], 2), Table::fmt(power[2][q], 2),
-                 Table::fmt(power[3][q], 2)});
-    }
-    t.print();
-  }
-
-  print_banner("Figure 9b: random read throughput (MiB/s) vs queue depth, 4 KiB chunks");
-  {
-    Table t({"qd", "SSD2", "SSD1", "SSD3", "HDD"});
-    for (std::size_t q = 0; q < core::queue_depths().size(); ++q) {
-      t.add_row({Table::fmt_int(core::queue_depths()[q]), Table::fmt(tput[0][q], 0),
-                 Table::fmt(tput[1][q], 0), Table::fmt(tput[2][q], 0),
-                 Table::fmt(tput[3][q], 1)});
-    }
-    t.print();
-  }
-
-  std::printf("\nqd1 vs qd64 (paper: up to 40%% less power; as little as 10%% of the perf):\n");
+  cli.experiment.io_limit_scale *= 0.25;
+  ResultSink sink("fig9", cli.csv_dir);
+  const std::vector<devices::DeviceId> ids = {devices::DeviceId::kSsd2, devices::DeviceId::kSsd1,
+                                              devices::DeviceId::kSsd3, devices::DeviceId::kHdd};
   const char* names[] = {"SSD2", "SSD1", "SSD3", "HDD"};
-  const std::size_t qd64 = 4;  // index of 64 in {1,4,16,32,64,128}
-  for (std::size_t d = 0; d < 4; ++d) {
-    std::printf("  %-5s power -%4.1f%%   throughput %5.1f%% of qd64\n", names[d],
-                (1.0 - power[d][0] / power[d][qd64]) * 100.0,
-                tput[d][0] / tput[d][qd64] * 100.0);
+
+  const auto cells = core::GridBuilder()
+                         .devices(ids)
+                         .base_job(core::make_job(iogen::Pattern::kRandom,
+                                                  iogen::OpKind::kRead, 4 * KiB, 1))
+                         .queue_depths(core::queue_depths())
+                         .cross();
+  core::CampaignRunner runner(core::bench_runner_options(cli));
+  const auto out = runner.run(cells);
+  const auto at = [&](std::size_t d, std::size_t q) -> const auto& {
+    return out[d * core::queue_depths().size() + q];
+  };
+
+  sink.banner("Figure 9a: random read average power (W) vs queue depth, 4 KiB chunks");
+  {
+    Table t({"qd", "SSD2", "SSD1", "SSD3", "HDD"});
+    for (std::size_t q = 0; q < core::queue_depths().size(); ++q) {
+      t.add_row({Table::fmt_int(core::queue_depths()[q]),
+                 Table::fmt(at(0, q).point.avg_power_w, 2),
+                 Table::fmt(at(1, q).point.avg_power_w, 2),
+                 Table::fmt(at(2, q).point.avg_power_w, 2),
+                 Table::fmt(at(3, q).point.avg_power_w, 2)});
+    }
+    sink.table("a_power", t);
   }
-  return 0;
+
+  sink.banner("Figure 9b: random read throughput (MiB/s) vs queue depth, 4 KiB chunks");
+  {
+    Table t({"qd", "SSD2", "SSD1", "SSD3", "HDD"});
+    for (std::size_t q = 0; q < core::queue_depths().size(); ++q) {
+      t.add_row({Table::fmt_int(core::queue_depths()[q]),
+                 Table::fmt(at(0, q).point.throughput_mib_s, 0),
+                 Table::fmt(at(1, q).point.throughput_mib_s, 0),
+                 Table::fmt(at(2, q).point.throughput_mib_s, 0),
+                 Table::fmt(at(3, q).point.throughput_mib_s, 1)});
+    }
+    sink.table("b_throughput", t);
+  }
+
+  sink.note("\nqd1 vs qd64 (paper: up to 40%% less power; as little as 10%% of the perf):\n");
+  const std::size_t qd64 = 4;  // index of 64 in {1,4,16,32,64,128}
+  for (std::size_t d = 0; d < ids.size(); ++d) {
+    sink.note("  %-5s power -%4.1f%%   throughput %5.1f%% of qd64\n", names[d],
+              (1.0 - at(d, 0).point.avg_power_w / at(d, qd64).point.avg_power_w) * 100.0,
+              at(d, 0).point.throughput_mib_s / at(d, qd64).point.throughput_mib_s * 100.0);
+  }
+  return core::report_failures(runner);
 }

@@ -4,14 +4,14 @@
 // The paper's range spans the lowest observed average power (idle, or
 // standby for devices that support it) to the highest average power seen in
 // any experiment. We probe each device's known heavy corners plus its idle /
-// standby floor.
+// standby floor — all as cells of one campaign.
 #include <algorithm>
-#include <cstdio>
+#include <iterator>
 
-#include "bench_util.h"
+#include "core/cell_spec.h"
+#include "core/runner.h"
 #include "devices/specs.h"
 #include "devmgmt/admin.h"
-#include "power/rig.h"
 #include "sim/simulator.h"
 
 namespace pas {
@@ -20,9 +20,9 @@ namespace {
 using devices::DeviceId;
 
 // Lowest power the host can reach without IO: idle, or standby if supported.
-Watts floor_power(DeviceId id) {
+core::ExperimentOutput floor_cell(const core::CellSpec& spec, const core::ExperimentOptions& o) {
   sim::Simulator sim;
-  auto handle = devices::make_handle(id, sim, 1);
+  auto handle = devices::make_handle(spec.device, sim, o.seed);
   devmgmt::SataAlpm alpm(*handle.pm);
   if (handle.pm->supports_standby()) {
     alpm.standby_immediate();
@@ -30,31 +30,39 @@ Watts floor_power(DeviceId id) {
     alpm.set_link_pm(sim::LinkPmState::kSlumber);
   }
   sim.run_until(seconds(15));
-  return handle.device->instantaneous_power();
+  core::ExperimentOutput out;
+  out.point.device = devices::label(spec.device);
+  out.point.avg_power_w = handle.device->instantaneous_power();
+  return out;
 }
 
-Watts max_power(DeviceId id, const core::ExperimentOptions& options) {
-  // Heavy corners: large sequential/random writes, and high-QD small reads
-  // (which is what maxes out SSD1).
+// Heavy corners: large sequential/random writes, and high-QD small reads
+// (which is what maxes out SSD1).
+std::vector<core::CellSpec> corner_cells(DeviceId id) {
   std::vector<iogen::JobSpec> candidates = {
-      bench::job(iogen::Pattern::kRandom, iogen::OpKind::kWrite, 2 * MiB, 64),
-      bench::job(iogen::Pattern::kSequential, iogen::OpKind::kWrite, 1 * MiB, 64),
-      bench::job(iogen::Pattern::kRandom, iogen::OpKind::kRead, 4 * KiB, 128),
-      bench::job(iogen::Pattern::kSequential, iogen::OpKind::kRead, 256 * KiB, 64),
+      core::make_job(iogen::Pattern::kRandom, iogen::OpKind::kWrite, 2 * MiB, 64),
+      core::make_job(iogen::Pattern::kSequential, iogen::OpKind::kWrite, 1 * MiB, 64),
+      core::make_job(iogen::Pattern::kRandom, iogen::OpKind::kRead, 4 * KiB, 128),
+      core::make_job(iogen::Pattern::kSequential, iogen::OpKind::kRead, 256 * KiB, 64),
   };
   if (id == DeviceId::kHdd) {
     // The HDD's peak draw is sustained full-stroke seeking: small random
     // reads spanning the whole platter (time-limited, not byte-limited).
-    auto seekstorm = bench::job(iogen::Pattern::kRandom, iogen::OpKind::kRead, 4 * KiB, 4);
+    auto seekstorm = core::make_job(iogen::Pattern::kRandom, iogen::OpKind::kRead, 4 * KiB, 4);
     seekstorm.region_bytes = 2 * TiB;
+    seekstorm.io_limit_bytes = 0;
     seekstorm.time_limit = seconds(20);
     candidates.push_back(seekstorm);
   }
-  Watts best = 0.0;
-  for (const auto& spec : candidates) {
-    best = std::max(best, core::run_cell(id, 0, spec, options).point.avg_power_w);
+  std::vector<core::CellSpec> cells;
+  for (const auto& job : candidates) {
+    core::CellSpec cell;
+    cell.device = id;
+    cell.job = job;
+    cell.tag = "max-corner";
+    cells.push_back(std::move(cell));
   }
-  return best;
+  return cells;
 }
 
 }  // namespace
@@ -62,10 +70,9 @@ Watts max_power(DeviceId id, const core::ExperimentOptions& options) {
 
 int main(int argc, char** argv) {
   using namespace pas;
-  const auto options = bench::parse_options(argc, argv);
+  const auto cli = core::parse_bench_cli(argc, argv);
+  ResultSink sink("table1", cli.csv_dir);
 
-  print_banner("Table 1: Evaluated storage devices (paper range in last column)");
-  Table t({"Label", "Protocol", "Model", "Measured Power Range", "Paper"});
   struct Row {
     devices::DeviceId id;
     const char* protocol;
@@ -77,13 +84,38 @@ int main(int argc, char** argv) {
       {devices::DeviceId::kSsd3, "SATA", "1-3.5W"},
       {devices::DeviceId::kHdd, "SATA", "1-5.3W"},
   };
+
+  // One campaign: each device's floor probe plus its heavy corners.
+  std::vector<core::CellSpec> cells;
+  std::vector<std::size_t> device_begin;  // cells index where each row starts
   for (const auto& row : rows) {
-    const Watts lo = floor_power(row.id);
-    const Watts hi = max_power(row.id, options);
-    t.add_row({devices::label(row.id), row.protocol, devices::model_name(row.id),
-               Table::fmt(lo, 1) + "-" + Table::fmt(hi, 1) + "W", row.paper});
+    device_begin.push_back(cells.size());
+    core::CellSpec floor_spec;
+    floor_spec.device = row.id;
+    floor_spec.tag = "floor";
+    floor_spec.body = floor_cell;
+    cells.push_back(std::move(floor_spec));
+    auto corners = corner_cells(row.id);
+    std::move(corners.begin(), corners.end(), std::back_inserter(cells));
   }
-  t.print();
-  std::printf("\nFloors are idle power (standby for the HDD, matching the paper's 1 W).\n");
-  return 0;
+  device_begin.push_back(cells.size());
+
+  core::CampaignRunner runner(core::bench_runner_options(cli));
+  const auto out = runner.run(cells);
+
+  sink.banner("Table 1: Evaluated storage devices (paper range in last column)");
+  Table t({"Label", "Protocol", "Model", "Measured Power Range", "Paper"});
+  for (std::size_t d = 0; d < 4; ++d) {
+    const Watts lo = out[device_begin[d]].point.avg_power_w;
+    Watts hi = 0.0;
+    for (std::size_t i = device_begin[d] + 1; i < device_begin[d + 1]; ++i) {
+      hi = std::max(hi, out[i].point.avg_power_w);
+    }
+    t.add_row({devices::label(rows[d].id), rows[d].protocol, devices::model_name(rows[d].id),
+               Table::fmt(lo, 1) + "-" + Table::fmt(hi, 1) + "W", rows[d].paper});
+  }
+  sink.table("devices", t);
+  sink.data("cells", core::points_table(cells, out));
+  sink.note("\nFloors are idle power (standby for the HDD, matching the paper's 1 W).\n");
+  return core::report_failures(runner);
 }

@@ -2,125 +2,99 @@
 // against the values the paper reports (Table 1 ranges plus the worked
 // numbers quoted in sections 2, 3.2 and 3.3). Used while tuning the device
 // specs; kept as a regression harness for the calibration.
-#include <cstdio>
-
-#include "common/table.h"
-#include "core/campaign.h"
+#include "core/cell_spec.h"
+#include "core/runner.h"
 #include "devices/specs.h"
 #include "iogen/job.h"
 
 namespace pas {
 namespace {
 
-using core::ExperimentOptions;
-using core::run_cell;
 using devices::DeviceId;
+using iogen::OpKind;
+using iogen::Pattern;
 
-iogen::JobSpec job(iogen::Pattern p, iogen::OpKind op, std::uint32_t bs, int qd) {
-  iogen::JobSpec s;
-  s.pattern = p;
-  s.op = op;
-  s.block_bytes = bs;
-  s.iodepth = qd;
-  return s;
-}
+struct Checkpoint {
+  core::CellSpec cell;
+  const char* target;
+};
 
-void report(Table& t, const char* what, const core::ExperimentOutput& o, const char* target) {
-  t.add_row({what, Table::fmt(o.point.avg_power_w, 2), Table::fmt(o.point.throughput_mib_s, 0),
-             Table::fmt(o.point.avg_latency_us, 1), Table::fmt(o.point.p99_latency_us, 1),
-             target});
+Checkpoint check(const char* what, DeviceId id, int ps, Pattern p, OpKind op, std::uint32_t bs,
+                 int qd, const char* target) {
+  core::CellSpec cell;
+  cell.device = id;
+  cell.power_state = ps;
+  cell.job = core::make_job(p, op, bs, qd);
+  cell.tag = what;
+  return {cell, target};
 }
 
 }  // namespace
 }  // namespace pas
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pas;
-  using iogen::OpKind;
-  using iogen::Pattern;
+  // Calibration runs at the paper's full cell sizes by default; --quick /
+  // --scale still shrink it for smoke runs.
+  const auto cli = core::parse_bench_cli(argc, argv, /*default_scale=*/1.0);
+  ResultSink sink("calibration_report", cli.csv_dir);
 
-  print_banner("Calibration checkpoints (paper targets in the last column)");
+  const std::vector<Checkpoint> checkpoints = {
+      check("SSD2 seqwrite-ish rand 2MiB qd64 ps0", DeviceId::kSsd2, 0, Pattern::kRandom,
+            OpKind::kWrite, 2 * MiB, 64, "~15.1 W max write"),
+      check("SSD2 seq write 256KiB qd64 ps0", DeviceId::kSsd2, 0, Pattern::kSequential,
+            OpKind::kWrite, 256 * KiB, 64, "max ~15.1 W"),
+      check("SSD2 seq write 256KiB qd64 ps1", DeviceId::kSsd2, 1, Pattern::kSequential,
+            OpKind::kWrite, 256 * KiB, 64, "74% of ps0 MiB/s, <=12 W"),
+      check("SSD2 seq write 256KiB qd64 ps2", DeviceId::kSsd2, 2, Pattern::kSequential,
+            OpKind::kWrite, 256 * KiB, 64, "55% of ps0 MiB/s, <=10 W"),
+      check("SSD2 seq read 256KiB qd64 ps0", DeviceId::kSsd2, 0, Pattern::kSequential,
+            OpKind::kRead, 256 * KiB, 64, "~3200 MiB/s"),
+      check("SSD2 seq read 256KiB qd64 ps2", DeviceId::kSsd2, 2, Pattern::kSequential,
+            OpKind::kRead, 256 * KiB, 64, "minimal drop vs ps0"),
+      check("SSD2 rand write 4KiB qd1 ps0", DeviceId::kSsd2, 0, Pattern::kRandom,
+            OpKind::kWrite, 4 * KiB, 1, "~6.1 W (range floor)"),
+      check("SSD2 rand write 4KiB qd64 ps0", DeviceId::kSsd2, 0, Pattern::kRandom,
+            OpKind::kWrite, 4 * KiB, 64, "~10 W, ~30% below 2MiB"),
+      check("SSD2 rand read 4KiB qd1", DeviceId::kSsd2, 0, Pattern::kRandom,
+            OpKind::kRead, 4 * KiB, 1, "~5.2 W"),
+      check("SSD2 rand read 4KiB qd64", DeviceId::kSsd2, 0, Pattern::kRandom,
+            OpKind::kRead, 4 * KiB, 64, "qd1 ~40% less power"),
+      check("SSD1 rand write 256KiB qd64 ps0", DeviceId::kSsd1, 0, Pattern::kRandom,
+            OpKind::kWrite, 256 * KiB, 64, "8.19 W, ~3380 MiB/s"),
+      check("SSD1 rand write 256KiB qd1 ps0", DeviceId::kSsd1, 0, Pattern::kRandom,
+            OpKind::kWrite, 256 * KiB, 1, "~80% power, ~60% MiB/s"),
+      check("SSD1 rand read 4KiB qd128", DeviceId::kSsd1, 0, Pattern::kRandom,
+            OpKind::kRead, 4 * KiB, 128, "~13.5 W (Table 1 max)"),
+      check("SSD3 seq write 256KiB qd64", DeviceId::kSsd3, 0, Pattern::kSequential,
+            OpKind::kWrite, 256 * KiB, 64, "~3.5 W, ~500 MiB/s"),
+      check("HDD seq write 2MiB qd64", DeviceId::kHdd, 0, Pattern::kSequential,
+            OpKind::kWrite, 2 * MiB, 64, "~190-210 MiB/s"),
+      check("HDD rand write 2MiB qd64", DeviceId::kHdd, 0, Pattern::kRandom,
+            OpKind::kWrite, 2 * MiB, 64, "~150+ MiB/s (cache+elevator)"),
+      check("HDD rand write 4KiB qd1", DeviceId::kHdd, 0, Pattern::kRandom,
+            OpKind::kWrite, 4 * KiB, 1, "~4% of HDD max rand write"),
+      check("HDD rand read 4KiB qd1", DeviceId::kHdd, 0, Pattern::kRandom,
+            OpKind::kRead, 4 * KiB, 1, "~150-200 IOPS region"),
+      check("HDD rand read 4KiB qd64 (NCQ)", DeviceId::kHdd, 0, Pattern::kRandom,
+            OpKind::kRead, 4 * KiB, 64, "~3-4x qd1 IOPS"),
+  };
+
+  std::vector<core::CellSpec> cells;
+  cells.reserve(checkpoints.size());
+  for (const auto& c : checkpoints) cells.push_back(c.cell);
+
+  core::CampaignRunner runner(core::bench_runner_options(cli));
+  const auto out = runner.run(cells);
+
+  sink.banner("Calibration checkpoints (paper targets in the last column)");
   Table t({"experiment", "avgW", "MiB/s", "avg_us", "p99_us", "paper target"});
-
-  // Idle power: run a minimal job then look at device minimum? Instead use
-  // tiny read workloads at QD1 which barely load the device.
-  {
-    auto o = run_cell(DeviceId::kSsd2, 0, job(Pattern::kRandom, OpKind::kWrite, 2 * MiB, 64));
-    report(t, "SSD2 seqwrite-ish rand 2MiB qd64 ps0", o, "~15.1 W max write");
+  for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+    const auto& o = out[i];
+    t.add_row({checkpoints[i].cell.tag, Table::fmt(o.point.avg_power_w, 2),
+               Table::fmt(o.point.throughput_mib_s, 0), Table::fmt(o.point.avg_latency_us, 1),
+               Table::fmt(o.point.p99_latency_us, 1), checkpoints[i].target});
   }
-  {
-    auto o = run_cell(DeviceId::kSsd2, 0, job(Pattern::kSequential, OpKind::kWrite, 256 * KiB, 64));
-    report(t, "SSD2 seq write 256KiB qd64 ps0", o, "max ~15.1 W");
-  }
-  {
-    auto o = run_cell(DeviceId::kSsd2, 1, job(Pattern::kSequential, OpKind::kWrite, 256 * KiB, 64));
-    report(t, "SSD2 seq write 256KiB qd64 ps1", o, "74% of ps0 MiB/s, <=12 W");
-  }
-  {
-    auto o = run_cell(DeviceId::kSsd2, 2, job(Pattern::kSequential, OpKind::kWrite, 256 * KiB, 64));
-    report(t, "SSD2 seq write 256KiB qd64 ps2", o, "55% of ps0 MiB/s, <=10 W");
-  }
-  {
-    auto o = run_cell(DeviceId::kSsd2, 0, job(Pattern::kSequential, OpKind::kRead, 256 * KiB, 64));
-    report(t, "SSD2 seq read 256KiB qd64 ps0", o, "~3200 MiB/s");
-  }
-  {
-    auto o = run_cell(DeviceId::kSsd2, 2, job(Pattern::kSequential, OpKind::kRead, 256 * KiB, 64));
-    report(t, "SSD2 seq read 256KiB qd64 ps2", o, "minimal drop vs ps0");
-  }
-  {
-    auto o = run_cell(DeviceId::kSsd2, 0, job(Pattern::kRandom, OpKind::kWrite, 4 * KiB, 1));
-    report(t, "SSD2 rand write 4KiB qd1 ps0", o, "~6.1 W (range floor)");
-  }
-  {
-    auto o = run_cell(DeviceId::kSsd2, 0, job(Pattern::kRandom, OpKind::kWrite, 4 * KiB, 64));
-    report(t, "SSD2 rand write 4KiB qd64 ps0", o, "~10 W, ~30% below 2MiB");
-  }
-  {
-    auto o = run_cell(DeviceId::kSsd2, 0, job(Pattern::kRandom, OpKind::kRead, 4 * KiB, 1));
-    report(t, "SSD2 rand read 4KiB qd1", o, "~5.2 W");
-  }
-  {
-    auto o = run_cell(DeviceId::kSsd2, 0, job(Pattern::kRandom, OpKind::kRead, 4 * KiB, 64));
-    report(t, "SSD2 rand read 4KiB qd64", o, "qd1 ~40% less power");
-  }
-  {
-    auto o = run_cell(DeviceId::kSsd1, 0, job(Pattern::kRandom, OpKind::kWrite, 256 * KiB, 64));
-    report(t, "SSD1 rand write 256KiB qd64 ps0", o, "8.19 W, ~3380 MiB/s");
-  }
-  {
-    auto o = run_cell(DeviceId::kSsd1, 0, job(Pattern::kRandom, OpKind::kWrite, 256 * KiB, 1));
-    report(t, "SSD1 rand write 256KiB qd1 ps0", o, "~80% power, ~60% MiB/s");
-  }
-  {
-    auto o = run_cell(DeviceId::kSsd1, 0, job(Pattern::kRandom, OpKind::kRead, 4 * KiB, 128));
-    report(t, "SSD1 rand read 4KiB qd128", o, "~13.5 W (Table 1 max)");
-  }
-  {
-    auto o = run_cell(DeviceId::kSsd3, 0, job(Pattern::kSequential, OpKind::kWrite, 256 * KiB, 64));
-    report(t, "SSD3 seq write 256KiB qd64", o, "~3.5 W, ~500 MiB/s");
-  }
-  {
-    auto o = run_cell(DeviceId::kHdd, 0, job(Pattern::kSequential, OpKind::kWrite, 2 * MiB, 64));
-    report(t, "HDD seq write 2MiB qd64", o, "~190-210 MiB/s");
-  }
-  {
-    auto o = run_cell(DeviceId::kHdd, 0, job(Pattern::kRandom, OpKind::kWrite, 2 * MiB, 64));
-    report(t, "HDD rand write 2MiB qd64", o, "~150+ MiB/s (cache+elevator)");
-  }
-  {
-    auto o = run_cell(DeviceId::kHdd, 0, job(Pattern::kRandom, OpKind::kWrite, 4 * KiB, 1));
-    report(t, "HDD rand write 4KiB qd1", o, "~4% of HDD max rand write");
-  }
-  {
-    auto o = run_cell(DeviceId::kHdd, 0, job(Pattern::kRandom, OpKind::kRead, 4 * KiB, 1));
-    report(t, "HDD rand read 4KiB qd1", o, "~150-200 IOPS region");
-  }
-  {
-    auto o = run_cell(DeviceId::kHdd, 0, job(Pattern::kRandom, OpKind::kRead, 4 * KiB, 64));
-    report(t, "HDD rand read 4KiB qd64 (NCQ)", o, "~3-4x qd1 IOPS");
-  }
-
-  t.print();
-  return 0;
+  sink.table("checkpoints", t);
+  return core::report_failures(runner);
 }

@@ -1,7 +1,10 @@
 #include "common/table.h"
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "common/check.h"
@@ -74,6 +77,35 @@ std::string Table::to_csv() const {
   return out.str();
 }
 
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_json() const {
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c != 0) out << ", ";
+      out << '"' << json_escape(headers_[c]) << "\": \"" << json_escape(rows_[r][c]) << '"';
+    }
+    out << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  out << "]\n";
+  return out.str();
+}
+
 void Table::print() const { std::fputs(to_string().c_str(), stdout); }
 
 void print_banner(const std::string& title) {
@@ -84,6 +116,48 @@ std::string ascii_bar(double value, double vmax, int width) {
   if (vmax <= 0.0 || value < 0.0) return "";
   const int n = std::min(width, static_cast<int>(value / vmax * width + 0.5));
   return std::string(static_cast<std::size_t>(std::max(0, n)), '#');
+}
+
+std::string kib_label(std::uint32_t bytes) { return std::to_string(bytes / 1024) + "KiB"; }
+
+ResultSink::ResultSink(std::string bench_name, std::string output_dir)
+    : bench_(std::move(bench_name)), dir_(std::move(output_dir)) {}
+
+void ResultSink::banner(const std::string& title) { print_banner(title); }
+
+void ResultSink::write_files(const std::string& slug, const Table& t) {
+  if (dir_.empty()) return;
+  // An unwritable mirror directory must not kill the process after the
+  // campaign already ran — the console output is the primary artifact.
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot create %s (%s); skipping CSV/JSON mirror\n",
+                 dir_.c_str(), ec.message().c_str());
+    dir_.clear();
+    return;
+  }
+  const std::string stem = dir_ + "/" + bench_ + "_" + slug;
+  std::ofstream(stem + ".csv") << t.to_csv();
+  std::ofstream(stem + ".json") << t.to_json();
+}
+
+void ResultSink::table(const std::string& slug, const Table& t) {
+  t.print();
+  write_files(slug, t);
+  ++tables_emitted_;
+}
+
+void ResultSink::data(const std::string& slug, const Table& t) {
+  write_files(slug, t);
+  ++tables_emitted_;
+}
+
+void ResultSink::note(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
 }
 
 }  // namespace pas

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,8 @@ class Table {
 
   std::string to_string() const;
   std::string to_csv() const;
+  // Array of {header: cell} objects, one per row.
+  std::string to_json() const;
   void print() const;  // to stdout
 
   std::size_t row_count() const { return rows_.size(); }
@@ -40,5 +43,36 @@ void print_banner(const std::string& title);
 // One-line ASCII bar for inline "figures": value rendered against vmax as a
 // bar of up to `width` characters.
 std::string ascii_bar(double value, double vmax, int width = 40);
+
+// "256KiB" — the row label the paper's figures use for chunk sizes.
+std::string kib_label(std::uint32_t bytes);
+
+// Unified output sink for the bench binaries: renders paper-unit tables to
+// stdout and, when an output directory is configured (--csv-dir), mirrors
+// every table as machine-readable CSV and JSON named
+// <dir>/<bench>_<slug>.{csv,json}. EXPERIMENTS.md paper-vs-measured numbers
+// regenerate from these files.
+class ResultSink {
+ public:
+  explicit ResultSink(std::string bench_name, std::string output_dir = "");
+
+  void banner(const std::string& title);
+  // Prints the table and mirrors it under the output dir (if configured).
+  void table(const std::string& slug, const Table& t);
+  // Machine-readable only: mirrors the table under the output dir without
+  // printing it (raw campaign grids are too wide for the console).
+  void data(const std::string& slug, const Table& t);
+  // Free-form printf-style commentary, console only.
+  void note(const char* fmt, ...);
+
+  std::size_t tables_emitted() const { return tables_emitted_; }
+
+ private:
+  void write_files(const std::string& slug, const Table& t);
+
+  std::string bench_;
+  std::string dir_;
+  std::size_t tables_emitted_ = 0;
+};
 
 }  // namespace pas

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/cell_spec.h"
+#include "core/runner.h"
 #include "devmgmt/admin.h"
 #include "sim/simulator.h"
 
@@ -20,6 +22,13 @@ const std::vector<int>& queue_depths() {
   return kDepths;
 }
 
+double ExperimentOutput::extra(const std::string& key, double fallback) const {
+  for (const auto& [k, v] : extras) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
 ExperimentOutput run_cell(devices::DeviceId id, int power_state, const iogen::JobSpec& spec,
                           const ExperimentOptions& options) {
   sim::Simulator sim;
@@ -32,7 +41,9 @@ ExperimentOutput run_cell(devices::DeviceId id, int power_state, const iogen::Jo
   }
 
   iogen::JobSpec job = spec;
-  if (options.io_limit_scale != 1.0) {
+  // Time-limited cells (io_limit_bytes == 0, "run 60 s") have no byte budget
+  // to scale — the 64 MiB floor must not resurrect one.
+  if (options.io_limit_scale != 1.0 && job.io_limit_bytes != 0) {
     job.io_limit_bytes = std::max<std::uint64_t>(
         64 * MiB,
         static_cast<std::uint64_t>(static_cast<double>(job.io_limit_bytes) *
@@ -68,30 +79,31 @@ ExperimentOutput run_cell(devices::DeviceId id, int power_state, const iogen::Jo
   return out;
 }
 
-std::vector<ExperimentOutput> randwrite_grid(devices::DeviceId id, bool across_power_states,
-                                             const ExperimentOptions& options) {
+std::vector<CellSpec> randwrite_grid_specs(devices::DeviceId id, bool across_power_states) {
   int states = 1;
   if (across_power_states) {
     sim::Simulator probe_sim;
     const auto handle = devices::make_handle(id, probe_sim, 1);
     states = handle.pm->power_state_count();
   }
-  std::vector<ExperimentOutput> outputs;
-  for (int ps = 0; ps < states; ++ps) {
-    for (const std::uint32_t chunk : chunk_sizes()) {
-      for (const int qd : queue_depths()) {
-        iogen::JobSpec spec;
-        spec.pattern = iogen::Pattern::kRandom;
-        spec.op = iogen::OpKind::kWrite;
-        spec.block_bytes = chunk;
-        spec.iodepth = qd;
-        spec.seed = options.seed + static_cast<std::uint64_t>(ps) * 1000 + chunk +
-                    static_cast<std::uint64_t>(qd);
-        outputs.push_back(run_cell(id, ps, spec, options));
-      }
-    }
-  }
-  return outputs;
+  std::vector<int> state_axis(static_cast<std::size_t>(states));
+  for (int ps = 0; ps < states; ++ps) state_axis[static_cast<std::size_t>(ps)] = ps;
+  return GridBuilder()
+      .device(id)
+      .power_states(std::move(state_axis))
+      .patterns({iogen::Pattern::kRandom})
+      .ops({iogen::OpKind::kWrite})
+      .chunks(chunk_sizes())
+      .queue_depths(queue_depths())
+      .cross();
+}
+
+std::vector<ExperimentOutput> randwrite_grid(devices::DeviceId id, bool across_power_states,
+                                             const ExperimentOptions& options, int jobs) {
+  RunnerOptions ro;
+  ro.jobs = jobs;
+  ro.experiment = options;
+  return CampaignRunner(ro).run(randwrite_grid_specs(id, across_power_states));
 }
 
 model::PowerThroughputModel build_model(const char* device_label,

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "devices/specs.h"
@@ -34,6 +36,10 @@ struct ExperimentOutput {
   Watts max_power_w = 0.0;
   Watts max_window10s_w = 0.0;  // for validating NVMe cap compliance
   power::PowerTrace trace;      // non-empty when keep_trace
+  // Bespoke per-cell metrics from custom CellSpec bodies (the ablations
+  // report quantities, e.g. energy error, that have no standard field).
+  std::vector<std::pair<std::string, double>> extras;
+  double extra(const std::string& key, double fallback = 0.0) const;
 };
 
 // Runs one cell: fresh simulator + device, power state set through the NVMe
@@ -48,9 +54,14 @@ const std::vector<int>& queue_depths();
 
 // The full random-write grid for one device: every chunk size x queue depth
 // (x power state when `across_power_states`). This is the input to the
-// Figure 10 power-throughput model.
+// Figure 10 power-throughput model. The cells execute through the
+// CampaignRunner (`jobs` worker threads; 1 = serial, 0 = all cores) with
+// per-cell derived seeds, so results are independent of execution order.
+struct CellSpec;  // core/cell_spec.h
+std::vector<CellSpec> randwrite_grid_specs(devices::DeviceId id, bool across_power_states);
 std::vector<ExperimentOutput> randwrite_grid(devices::DeviceId id, bool across_power_states,
-                                             const ExperimentOptions& options = {});
+                                             const ExperimentOptions& options = {},
+                                             int jobs = 1);
 
 // Builds the section 3.3 model from grid outputs.
 model::PowerThroughputModel build_model(const char* device_label,

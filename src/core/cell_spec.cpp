@@ -1,0 +1,145 @@
+#include "core/cell_spec.h"
+
+#include <bit>
+
+namespace pas::core {
+
+std::string CellSpec::context() const {
+  std::string s = devices::label(device);
+  s += " ps" + std::to_string(power_state);
+  s += " " + job.label();
+  if (!tag.empty()) s += " [" + tag + "]";
+  return s;
+}
+
+namespace {
+
+// splitmix64 finalizer: one absorption step of the running hash.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h += 0x9E3779B97F4A7C15ULL + v;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+std::uint64_t mix_str(std::uint64_t h, const std::string& s) {
+  for (const char c : s) h = mix(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  return mix(h, s.size());
+}
+
+}  // namespace
+
+std::uint64_t derive_cell_seed(std::uint64_t base_seed, const CellSpec& spec) {
+  std::uint64_t h = mix(base_seed, 0x706173u);  // "pas"
+  h = mix(h, static_cast<std::uint64_t>(spec.device));
+  h = mix(h, static_cast<std::uint64_t>(spec.power_state));
+  h = mix(h, static_cast<std::uint64_t>(spec.job.pattern));
+  h = mix(h, static_cast<std::uint64_t>(spec.job.op));
+  h = mix(h, spec.job.block_bytes);
+  h = mix(h, static_cast<std::uint64_t>(spec.job.iodepth));
+  h = mix(h, static_cast<std::uint64_t>(spec.job.rw_mix_read_pct + 1));
+  h = mix(h, static_cast<std::uint64_t>(spec.job.offset_dist));
+  h = mix(h, std::bit_cast<std::uint64_t>(spec.job.zipf_theta));
+  h = mix(h, spec.job.region_offset);
+  h = mix(h, spec.job.region_bytes);
+  h = mix(h, spec.job.io_limit_bytes);
+  h = mix(h, static_cast<std::uint64_t>(spec.job.time_limit));
+  h = mix_str(h, spec.tag);
+  return h != 0 ? h : 1;
+}
+
+iogen::JobSpec make_job(iogen::Pattern pattern, iogen::OpKind op, std::uint32_t block_bytes,
+                        int iodepth) {
+  iogen::JobSpec s;
+  s.pattern = pattern;
+  s.op = op;
+  s.block_bytes = block_bytes;
+  s.iodepth = iodepth;
+  return s;
+}
+
+GridBuilder& GridBuilder::devices(std::vector<devices::DeviceId> v) {
+  devices_ = std::move(v);
+  return *this;
+}
+
+GridBuilder& GridBuilder::device(devices::DeviceId id) {
+  devices_ = {id};
+  return *this;
+}
+
+GridBuilder& GridBuilder::power_states(std::vector<int> v) {
+  power_states_ = std::move(v);
+  return *this;
+}
+
+GridBuilder& GridBuilder::patterns(std::vector<iogen::Pattern> v) {
+  patterns_ = std::move(v);
+  return *this;
+}
+
+GridBuilder& GridBuilder::ops(std::vector<iogen::OpKind> v) {
+  ops_ = std::move(v);
+  return *this;
+}
+
+GridBuilder& GridBuilder::chunks(std::vector<std::uint32_t> v) {
+  chunks_ = std::move(v);
+  return *this;
+}
+
+GridBuilder& GridBuilder::queue_depths(std::vector<int> v) {
+  queue_depths_ = std::move(v);
+  return *this;
+}
+
+GridBuilder& GridBuilder::base_job(const iogen::JobSpec& job) {
+  base_ = job;
+  return *this;
+}
+
+GridBuilder& GridBuilder::tag(std::string t) {
+  tag_ = std::move(t);
+  return *this;
+}
+
+std::vector<CellSpec> GridBuilder::cross() const {
+  const std::vector<devices::DeviceId> devs =
+      devices_.empty() ? std::vector<devices::DeviceId>{devices::DeviceId::kSsd1} : devices_;
+  const std::vector<int> states = power_states_.empty() ? std::vector<int>{0} : power_states_;
+  const std::vector<iogen::Pattern> pats =
+      patterns_.empty() ? std::vector<iogen::Pattern>{base_.pattern} : patterns_;
+  const std::vector<iogen::OpKind> ops = ops_.empty() ? std::vector<iogen::OpKind>{base_.op} : ops_;
+  const std::vector<std::uint32_t> chunks =
+      chunks_.empty() ? std::vector<std::uint32_t>{base_.block_bytes} : chunks_;
+  const std::vector<int> qds = queue_depths_.empty() ? std::vector<int>{base_.iodepth} : queue_depths_;
+
+  std::vector<CellSpec> cells;
+  cells.reserve(devs.size() * states.size() * pats.size() * ops.size() * chunks.size() *
+                qds.size());
+  for (const auto dev : devs) {
+    for (const int ps : states) {
+      for (const auto pat : pats) {
+        for (const auto op : ops) {
+          for (const std::uint32_t chunk : chunks) {
+            for (const int qd : qds) {
+              CellSpec cell;
+              cell.device = dev;
+              cell.power_state = ps;
+              cell.job = base_;
+              cell.job.pattern = pat;
+              cell.job.op = op;
+              cell.job.block_bytes = chunk;
+              cell.job.iodepth = qd;
+              cell.tag = tag_;
+              cells.push_back(std::move(cell));
+            }
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace pas::core

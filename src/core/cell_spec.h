@@ -1,0 +1,81 @@
+// Declarative description of one experiment cell (spec layer of the
+// campaign engine, see DESIGN.md section 3.1).
+//
+// A CellSpec names everything a cell needs — device, power state, IO shape,
+// and a free-form tag — without running anything. GridBuilder crosses axis
+// vectors into a cell list in a fixed nesting order, replacing the hand-
+// rolled sweep loops the bench binaries used to carry. Each cell's RNG seed
+// is derived from the base seed plus the cell's own axes, so a grid can be
+// reordered, filtered, or executed in parallel without changing any
+// measured number.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "devices/specs.h"
+#include "iogen/job.h"
+
+namespace pas::core {
+
+struct CellSpec {
+  devices::DeviceId device = devices::DeviceId::kSsd1;
+  int power_state = 0;
+  iogen::JobSpec job;
+  std::string tag;  // free-form label, surfaced in progress and error context
+
+  // Escape hatch for cells that need bespoke device construction (the
+  // ablations override device configs the DeviceId factories don't expose).
+  // When set, the runner invokes this instead of core::run_cell, with the
+  // derived per-cell seed already applied to `job.seed` and `options.seed`.
+  std::function<ExperimentOutput(const CellSpec&, const ExperimentOptions&)> body;
+
+  // "SSD2 ps1 randwrite bs=256KiB qd=64 [tag]" — used in progress output and
+  // failure reports.
+  std::string context() const;
+};
+
+// Stable per-cell seed: a mix of the base seed and the cell's axes (device,
+// power state, workload shape, limits, tag). Independent of the cell's
+// position in the grid, so results are order-independent. Never zero.
+std::uint64_t derive_cell_seed(std::uint64_t base_seed, const CellSpec& spec);
+
+// Convenience JobSpec constructor used throughout the benches.
+iogen::JobSpec make_job(iogen::Pattern pattern, iogen::OpKind op, std::uint32_t block_bytes,
+                        int iodepth);
+
+// Crosses the configured axes into a cell list. Unset axes default to the
+// base job's value, so a builder with only `chunks()` set sweeps one axis.
+// Nesting order is fixed (outermost first): device, power state, pattern,
+// op, chunk size, queue depth — callers index the runner's outputs with the
+// same arithmetic regardless of which axes they sweep.
+class GridBuilder {
+ public:
+  GridBuilder& devices(std::vector<devices::DeviceId> v);
+  GridBuilder& device(devices::DeviceId id);
+  GridBuilder& power_states(std::vector<int> v);
+  GridBuilder& patterns(std::vector<iogen::Pattern> v);
+  GridBuilder& ops(std::vector<iogen::OpKind> v);
+  GridBuilder& chunks(std::vector<std::uint32_t> v);
+  GridBuilder& queue_depths(std::vector<int> v);
+  // Template for the non-axis JobSpec fields (limits, region, mix, ...).
+  GridBuilder& base_job(const iogen::JobSpec& job);
+  GridBuilder& tag(std::string t);
+
+  std::vector<CellSpec> cross() const;
+
+ private:
+  std::vector<devices::DeviceId> devices_;
+  std::vector<int> power_states_;
+  std::vector<iogen::Pattern> patterns_;
+  std::vector<iogen::OpKind> ops_;
+  std::vector<std::uint32_t> chunks_;
+  std::vector<int> queue_depths_;
+  iogen::JobSpec base_;
+  std::string tag_;
+};
+
+}  // namespace pas::core

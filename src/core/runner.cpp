@@ -1,0 +1,210 @@
+#include "core/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace pas::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+}  // namespace
+
+int default_jobs() {
+  if (const char* env = std::getenv("PAS_JOBS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+CampaignRunner::CampaignRunner(RunnerOptions options) : options_(std::move(options)) {}
+
+ExperimentOutput CampaignRunner::run_one(const CellSpec& spec) const {
+  ExperimentOptions o = options_.experiment;
+  o.seed = derive_cell_seed(options_.experiment.seed, spec);
+  if (spec.body) {
+    CellSpec seeded = spec;
+    seeded.job.seed = o.seed;
+    return spec.body(seeded, o);
+  }
+  iogen::JobSpec job = spec.job;
+  job.seed = o.seed;
+  return run_cell(spec.device, spec.power_state, job, o);
+}
+
+std::vector<ExperimentOutput> CampaignRunner::run(const std::vector<CellSpec>& cells) {
+  failures_.clear();
+  std::vector<ExperimentOutput> outputs(cells.size());
+  if (cells.empty()) return outputs;
+
+  const auto start = Clock::now();
+  int jobs = options_.jobs;
+  if (jobs <= 0) jobs = default_jobs();
+  jobs = static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(jobs), cells.size()));
+
+  std::mutex mu;  // guards failures_ and progress reporting
+  std::size_t done = 0;
+  auto finish_cell = [&](std::size_t index, const char* error) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (error != nullptr) failures_.push_back({index, cells[index].context(), error});
+    ++done;
+    if (options_.progress) {
+      RunnerProgress p;
+      p.done = done;
+      p.total = cells.size();
+      p.elapsed_s = elapsed_seconds(start);
+      p.cells_per_sec = p.elapsed_s > 0.0 ? static_cast<double>(done) / p.elapsed_s : 0.0;
+      options_.progress(p);
+    }
+  };
+  auto execute = [&](std::size_t index) {
+    try {
+      outputs[index] = run_one(cells[index]);
+      finish_cell(index, nullptr);
+    } catch (const std::exception& e) {
+      finish_cell(index, e.what());
+    } catch (...) {
+      finish_cell(index, "unknown error");
+    }
+  };
+
+  if (jobs == 1) {
+    // Today's serial path: everything inline on the calling thread.
+    for (std::size_t i = 0; i < cells.size(); ++i) execute(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(jobs));
+    for (int w = 0; w < jobs; ++w) {
+      workers.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < cells.size(); i = next.fetch_add(1)) {
+          execute(i);
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+
+  // Failures are recorded in completion order under the mutex; sort back to
+  // spec order so reports are deterministic.
+  std::sort(failures_.begin(), failures_.end(),
+            [](const CellFailure& a, const CellFailure& b) { return a.index < b.index; });
+  return outputs;
+}
+
+BenchCli parse_bench_cli(int argc, char** argv, double default_scale) {
+  BenchCli cli;
+  cli.experiment.io_limit_scale = default_scale;
+  auto value_of = [&](int& i, const char* flag) -> const char* {
+    const std::size_t n = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, n) == 0 && argv[i][n] == '=') return argv[i] + n + 1;
+    if (std::strcmp(argv[i], flag) != 0) return nullptr;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s requires a value (try --help)\n", argv[0], flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  auto numeric = [&](const char* flag, const char* v) -> double {
+    char* end = nullptr;
+    const double x = std::strtod(v, &end);
+    if (end == v || *end != '\0') {
+      std::fprintf(stderr, "%s: %s expects a number, got '%s'\n", argv[0], flag, v);
+      std::exit(2);
+    }
+    return x;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      cli.experiment.io_limit_scale = 1.0;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      cli.experiment.io_limit_scale = 0.0625;
+    } else if (const char* v = value_of(i, "--scale")) {
+      cli.experiment.io_limit_scale = numeric("--scale", v);
+      if (cli.experiment.io_limit_scale <= 0.0) {
+        std::fprintf(stderr, "%s: --scale must be > 0\n", argv[0]);
+        std::exit(2);
+      }
+    } else if (const char* v = value_of(i, "--jobs")) {
+      cli.jobs = static_cast<int>(numeric("--jobs", v));
+    } else if (const char* v = value_of(i, "--csv-dir")) {
+      cli.csv_dir = v;
+    } else if (const char* v = value_of(i, "--seed")) {
+      char* end = nullptr;
+      cli.experiment.seed = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "%s: --seed expects an integer, got '%s'\n", argv[0], v);
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: %s [--full | --quick | --scale F] [--jobs N] [--csv-dir DIR] [--seed S]\n"
+          "  --full      paper-exact 4 GiB / 60 s cells\n"
+          "  --quick     256 MiB smoke cells\n"
+          "  --scale F   explicit io-limit scale (default %.4g)\n"
+          "  --jobs N    worker threads (default: hardware concurrency; env PAS_JOBS)\n"
+          "  --csv-dir D mirror tables as CSV/JSON under D\n"
+          "  --seed S    base seed for per-cell derived seeds\n",
+          argv[0], default_scale);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0], argv[i]);
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
+RunnerOptions bench_runner_options(const BenchCli& cli) {
+  RunnerOptions o;
+  o.jobs = cli.jobs;
+  o.experiment = cli.experiment;
+  o.progress = [](const RunnerProgress& p) {
+    std::fprintf(stderr, "\r[%zu/%zu] %.1fs, %.2f cells/s%s", p.done, p.total, p.elapsed_s,
+                 p.cells_per_sec, p.done == p.total ? "\n" : "");
+    std::fflush(stderr);
+  };
+  return o;
+}
+
+int report_failures(const CampaignRunner& runner) {
+  for (const auto& f : runner.failures()) {
+    std::fprintf(stderr, "cell %zu failed: %s\n  %s\n", f.index, f.context.c_str(),
+                 f.message.c_str());
+  }
+  return runner.failures().empty() ? 0 : 1;
+}
+
+Table points_table(const std::vector<CellSpec>& cells,
+                   const std::vector<ExperimentOutput>& outputs) {
+  Table t({"device", "power_state", "pattern", "op", "chunk_bytes", "queue_depth", "avg_power_w",
+           "throughput_mib_s", "avg_latency_us", "p99_latency_us", "min_power_w", "max_power_w",
+           "max_window10s_w"});
+  for (std::size_t i = 0; i < cells.size() && i < outputs.size(); ++i) {
+    const auto& c = cells[i];
+    const auto& o = outputs[i];
+    t.add_row({devices::label(c.device), Table::fmt_int(c.power_state),
+               iogen::to_string(c.job.pattern), iogen::to_string(c.job.op),
+               Table::fmt_int(c.job.block_bytes), Table::fmt_int(c.job.iodepth),
+               Table::fmt(o.point.avg_power_w, 4), Table::fmt(o.point.throughput_mib_s, 3),
+               Table::fmt(o.point.avg_latency_us, 3), Table::fmt(o.point.p99_latency_us, 3),
+               Table::fmt(o.min_power_w, 4), Table::fmt(o.max_power_w, 4),
+               Table::fmt(o.max_window10s_w, 4)});
+  }
+  return t;
+}
+
+}  // namespace pas::core

@@ -1,0 +1,104 @@
+// Execution layer of the campaign engine (DESIGN.md section 3.1): runs a
+// vector of CellSpecs over a fixed worker pool.
+//
+// Cells are embarrassingly parallel — every cell runs on its own simulator
+// with its own freshly constructed device and per-cell derived seeds — so
+// the runner executes them on N threads and collects outputs back into spec
+// order. Results are bit-identical to serial execution (jobs=1, which runs
+// everything inline on the calling thread, preserving the old serial path).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/campaign.h"
+#include "core/cell_spec.h"
+
+namespace pas::core {
+
+struct RunnerProgress {
+  std::size_t done = 0;
+  std::size_t total = 0;
+  double elapsed_s = 0.0;
+  double cells_per_sec = 0.0;
+};
+
+// Called after each cell completes; invocations are serialized by the runner
+// so the callback needs no locking of its own.
+using ProgressFn = std::function<void(const RunnerProgress&)>;
+
+// A cell whose body threw: the campaign keeps going, and the failure is
+// reported with the cell's device/axes context instead of aborting.
+struct CellFailure {
+  std::size_t index = 0;  // position in the spec vector
+  std::string context;    // CellSpec::context() of the failing cell
+  std::string message;    // exception what()
+};
+
+struct RunnerOptions {
+  // Worker threads: 1 = serial on the calling thread; 0 = default_jobs()
+  // (hardware_concurrency, overridable via the PAS_JOBS environment
+  // variable and the benches' --jobs flag).
+  int jobs = 1;
+  ExperimentOptions experiment;
+  ProgressFn progress;  // optional
+};
+
+// hardware_concurrency, unless the PAS_JOBS environment variable overrides.
+int default_jobs();
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(RunnerOptions options = {});
+
+  // Executes every cell and returns the outputs in spec order. A cell that
+  // throws leaves its output slot default-constructed and is recorded in
+  // failures(); the rest of the campaign still runs.
+  std::vector<ExperimentOutput> run(const std::vector<CellSpec>& cells);
+
+  const std::vector<CellFailure>& failures() const { return failures_; }
+
+ private:
+  ExperimentOutput run_one(const CellSpec& spec) const;
+
+  RunnerOptions options_;
+  std::vector<CellFailure> failures_;
+};
+
+// ---- Bench harness glue (shared by every bench binary) ----
+
+// Command line shared by the reproduction benches:
+//   --full        the paper's exact 4 GiB / 60 s cells (scale 1.0)
+//   --quick       256 MiB smoke cells (scale 0.0625)
+//   --scale F     explicit io_limit_scale
+//   --jobs N      worker threads (default: hardware_concurrency / PAS_JOBS)
+//   --csv-dir D   mirror every table as CSV + JSON under D
+//   --seed S      base seed (per-cell seeds are derived from it)
+// `default_scale` is the io_limit_scale used when neither --full, --quick
+// nor --scale is given (the benches' 1 GiB default; calibration_report
+// passes 1.0 to keep the paper's exact cells).
+struct BenchCli {
+  ExperimentOptions experiment;
+  int jobs = 0;  // 0 = default_jobs()
+  std::string csv_dir;
+};
+
+BenchCli parse_bench_cli(int argc, char** argv, double default_scale = 0.25);
+
+// RunnerOptions for a bench: the CLI's jobs/experiment plus a stderr
+// progress line ("[12/108] 3.4s, 3.5 cells/s").
+RunnerOptions bench_runner_options(const BenchCli& cli);
+
+// Prints any failures to stderr; returns the bench process exit code
+// (0 when the whole campaign succeeded).
+int report_failures(const CampaignRunner& runner);
+
+// Raw measured grid as a machine-readable table (one row per output, paper
+// units) for ResultSink CSV/JSON emission.
+Table points_table(const std::vector<CellSpec>& cells,
+                   const std::vector<ExperimentOutput>& outputs);
+
+}  // namespace pas::core

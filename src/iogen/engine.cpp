@@ -43,7 +43,8 @@ void IoEngine::start(std::function<void()> on_done) {
 }
 
 bool IoEngine::limits_reached() const {
-  return issued_bytes_ >= spec_.io_limit_bytes || sim_.now() >= deadline_;
+  const bool bytes_done = spec_.io_limit_bytes != 0 && issued_bytes_ >= spec_.io_limit_bytes;
+  return bytes_done || sim_.now() >= deadline_;
 }
 
 std::uint64_t IoEngine::next_offset() {

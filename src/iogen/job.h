@@ -44,6 +44,7 @@ struct JobSpec {
   std::uint64_t region_bytes = 4 * GiB;
 
   // Stop conditions: whichever comes first (paper: 4 GiB or one minute).
+  // io_limit_bytes == 0 disables the byte budget (purely time-limited).
   std::uint64_t io_limit_bytes = 4 * GiB;
   TimeNs time_limit = seconds(60);
 
