@@ -42,6 +42,42 @@ void BM_SimulatorCascade(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorCascade);
 
+void BM_SimulatorCancelHeavy(benchmark::State& state) {
+  // Timeout-guard pattern (governor retry, ALPM timers, HDD idle spindown):
+  // every useful event is paired with a far-future guard that is cancelled
+  // before it can fire.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    std::vector<sim::Simulator::EventId> guards;
+    guards.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(microseconds(i), [&fired] { ++fired; });
+      guards.push_back(sim.schedule_at(seconds(10) + microseconds(i), [&fired] { ++fired; }));
+    }
+    for (auto id : guards) sim.cancel(id);
+    sim.run_to_completion();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_SimulatorCancelHeavy);
+
+void BM_SimulatorPeriodicTicks(benchmark::State& state) {
+  // Fixed-rate sampling tick: the ADC (1 kHz) and governor-window pattern.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t ticks = 0;
+    sim::PeriodicTask task(sim, microseconds(10), [&ticks] { ++ticks; });
+    task.start();
+    sim.run_until(milliseconds(10));
+    task.stop();
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorPeriodicTicks);
+
 void BM_RngNextBelow(benchmark::State& state) {
   Rng rng(1);
   std::uint64_t acc = 0;

@@ -1,0 +1,173 @@
+// Move-only type-erased `void()` callback with small-buffer optimisation.
+//
+// The discrete-event kernel stores one of these per scheduled event, inline
+// in its slab slot, so the common schedule/fire path never touches the heap.
+// The inline capacity is sized for the largest hot-path capture in the tree:
+// the per-IO continuation {this, IoRequest, IoCallback, TimeNs} that the SSD
+// and HDD device models reschedule at every pipeline stage (8 + 24 + 32 + 8 =
+// 72 bytes with libstdc++'s 32-byte std::function). Smaller captures — the
+// NandArray die/channel chains (32 B), moved-in std::function handoffs
+// (32 B), and bare [this] lambdas (8 B) — fit with room to spare. Callables
+// that are larger, over-aligned, or throwing-move fall back to a single heap
+// allocation, so arbitrary captures stay correct, just slower.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pas::sim {
+
+class UniqueCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 72;
+  static constexpr std::size_t kInlineAlign = alignof(void*);
+
+  UniqueCallback() noexcept = default;
+
+  template <typename F,
+            typename Fn = std::remove_cv_t<std::remove_reference_t<F>>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, UniqueCallback> &&
+                                        std::is_invocable_r_v<void, Fn&>>>
+  UniqueCallback(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    emplace(std::forward<F>(f));
+  }
+
+  // Constructs the callable directly into the inline buffer (or its heap
+  // fallback), replacing any previous one. The kernel's schedule path uses
+  // this to build the capture in its slab slot with no intermediate moves.
+  template <typename F,
+            typename Fn = std::remove_cv_t<std::remove_reference_t<F>>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, UniqueCallback> &&
+                                        std::is_invocable_r_v<void, Fn&>>>
+  void emplace(F&& f) {
+    reset();
+    construct(std::forward<F>(f));
+  }
+
+  // Like emplace() but skips the reset: the caller guarantees *this is empty.
+  // The kernel's schedule path uses it — a recycled slab slot always had its
+  // callback consumed by fire or cancel before it reached the free list.
+  template <typename F,
+            typename Fn = std::remove_cv_t<std::remove_reference_t<F>>,
+            typename = std::enable_if_t<!std::is_same_v<Fn, UniqueCallback> &&
+                                        std::is_invocable_r_v<void, Fn&>>>
+  void construct(F&& f) {
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= kInlineAlign &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  UniqueCallback(UniqueCallback&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      relocate_from(o);
+    }
+  }
+
+  UniqueCallback& operator=(UniqueCallback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) {
+        relocate_from(o);
+      }
+    }
+    return *this;
+  }
+
+  UniqueCallback(const UniqueCallback&) = delete;
+  UniqueCallback& operator=(const UniqueCallback&) = delete;
+
+  ~UniqueCallback() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  // Fire-path fusion: invokes the callable, then tears it down, in a single
+  // indirect dispatch (invoke_destroy) instead of invoke + destroy. Leaves
+  // this callback empty.
+  void invoke_and_reset() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(buf_);
+  }
+
+ private:
+  // `relocate` / `destroy` are null when a plain memcpy / no-op suffices
+  // (trivially copyable / trivially destructible callables — the overwhelming
+  // majority of captures in this tree), so the hot move and teardown paths
+  // are a predictable branch instead of an indirect call.
+  struct Ops {
+    void (*invoke)(void*);
+    void (*invoke_destroy)(void*);  // invoke, then destroy, one dispatch
+    // Move-constructs `dst` from `src` and destroys `src`.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+    std::size_t size;  // bytes occupied in the buffer (for memcpy relocation)
+  };
+
+  void relocate_from(UniqueCallback& o) noexcept {
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(o.buf_, buf_);
+    } else {
+      std::memcpy(buf_, o.buf_, ops_->size);
+    }
+    o.ops_ = nullptr;
+  }
+
+  template <typename Fn>
+  struct InlineOps {
+    static Fn* get(void* p) noexcept { return std::launder(reinterpret_cast<Fn*>(p)); }
+    static void invoke(void* p) { (*get(p))(); }
+    static void invoke_destroy(void* p) {
+      Fn* f = get(p);
+      (*f)();
+      f->~Fn();
+    }
+    static void relocate(void* src, void* dst) noexcept {
+      Fn* s = get(src);
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    }
+    static void destroy(void* p) noexcept { get(p)->~Fn(); }
+    static constexpr Ops ops{
+        &invoke, &invoke_destroy,
+        std::is_trivially_copyable_v<Fn> ? nullptr : &relocate,
+        std::is_trivially_destructible_v<Fn> ? nullptr : &destroy, sizeof(Fn)};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn*& get(void* p) noexcept { return *std::launder(reinterpret_cast<Fn**>(p)); }
+    static void invoke(void* p) { (*get(p))(); }
+    static void invoke_destroy(void* p) {
+      Fn* f = get(p);
+      (*f)();
+      delete f;
+    }
+    static void destroy(void* p) noexcept { delete get(p); }
+    // The payload is an owning raw pointer: memcpy relocation is always
+    // correct, but the heap object must still be deleted.
+    static constexpr Ops ops{&invoke, &invoke_destroy, nullptr, &destroy, sizeof(Fn*)};
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(kInlineAlign) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace pas::sim

@@ -1,60 +1,116 @@
 #include "sim/simulator.h"
 
-#include <utility>
+#include <algorithm>
+#include <cstring>
 
 namespace pas::sim {
 
-Simulator::EventId Simulator::schedule_at(TimeNs t, Callback cb) {
-  PAS_CHECK_MSG(t >= now_, "cannot schedule into the past");
-  PAS_CHECK(cb != nullptr);
-  const EventId id = next_id_++;
-  heap_.push(HeapEntry{t, id});
-  callbacks_.emplace(id, std::move(cb));
-  return id;
-}
+Simulator::Simulator()
+    : heap_t_(new TimeNs[1024]),
+      heap_meta_(new Meta[1024]),
+      heap_cap_(1024),
+      mono_(new MonoEntry[1024]),
+      mono_cap_(1024) {}
 
-bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
-
-bool Simulator::step() {
-  while (!heap_.empty()) {
-    const HeapEntry top = heap_.top();
-    heap_.pop();
-    auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = top.t;
-    ++executed_;
-    cb();
-    return true;
+Simulator::~Simulator() {
+  // Fired and cancelled slots already had their callback reset, so the only
+  // slots owning resources are the live queue entries; visiting just those
+  // (instead of all slot_count_ slots) makes teardown O(pending). The Slot
+  // objects themselves need no destructor call beyond the callback reset:
+  // their remaining members are trivial.
+  for (std::size_t i = 0; i < heap_size_; ++i) {
+    const EventId id = heap_meta_[i].id;
+    if (id_live(id)) slot(slot_of(id)).cb.reset();
   }
-  return false;
+  for (std::size_t i = 0; i < mono_size_; ++i) {
+    const EventId id = mono_[(mono_head_ + i) & (mono_cap_ - 1)].id;
+    if (id_live(id)) slot(slot_of(id)).cb.reset();
+  }
 }
 
-void Simulator::run_until(TimeNs t) {
-  PAS_CHECK(t >= now_);
-  while (!heap_.empty()) {
-    // Skip cancelled entries without advancing time.
-    const HeapEntry top = heap_.top();
-    if (callbacks_.find(top.id) == callbacks_.end()) {
-      heap_.pop();
-      continue;
+void Simulator::grow_pages() {
+  pages_.emplace_back(new unsigned char[sizeof(Slot) * kPageSize]);
+}
+
+void Simulator::grow_heap() {
+  const std::size_t cap = heap_cap_ * 2;
+  std::unique_ptr<TimeNs[]> t(new TimeNs[cap]);
+  std::unique_ptr<Meta[]> m(new Meta[cap]);
+  std::memcpy(t.get(), heap_t_.get(), heap_size_ * sizeof(TimeNs));
+  std::memcpy(m.get(), heap_meta_.get(), heap_size_ * sizeof(Meta));
+  heap_t_ = std::move(t);
+  heap_meta_ = std::move(m);
+  heap_cap_ = cap;
+}
+
+void Simulator::grow_mono() {
+  const std::size_t cap = mono_cap_ * 2;
+  std::unique_ptr<MonoEntry[]> ring(new MonoEntry[cap]);
+  // Linearize the old ring while copying so head restarts at zero.
+  for (std::size_t i = 0; i < mono_size_; ++i) {
+    ring[i] = mono_[(mono_head_ + i) & (mono_cap_ - 1)];
+  }
+  mono_ = std::move(ring);
+  mono_head_ = 0;
+  mono_cap_ = cap;
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const std::size_t n = heap_size_;
+  const TimeNs e_t = heap_t_[i];
+  const Meta e_m = heap_meta_[i];
+  for (;;) {
+    const std::size_t first = (i << kArityShift) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t limit = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < limit; ++c) {
+      if (entry_before(c, best)) best = c;
     }
-    if (top.t > t) break;
-    step();
+    // seq is unique per entry, so "best not before e" == "e before best".
+    if (key_before(e_t, e_m.seq, best)) break;
+    heap_t_[i] = heap_t_[best];
+    heap_meta_[i] = heap_meta_[best];
+    i = best;
   }
-  now_ = t;
+  heap_t_[i] = e_t;
+  heap_meta_[i] = e_m;
 }
 
-void Simulator::run_to_completion() {
-  while (step()) {
+void Simulator::prune_heap() {
+  // Lazy deletion leaves tombstones in both queues; compact once they
+  // dominate so cancel-heavy workloads (timeout guards that almost never
+  // fire) stay O(live). Filtering + re-heapifying preserves the (t, seq)
+  // total order, so execution order is unchanged.
+  std::size_t out = 0;
+  const std::size_t n = heap_size_;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (id_live(heap_meta_[i].id)) {
+      heap_t_[out] = heap_t_[i];
+      heap_meta_[out] = heap_meta_[i];
+      ++out;
+    }
   }
+  heap_size_ = out;
+  // The mono ring compacts in place: dropping dead entries keeps it sorted.
+  std::size_t mout = 0;
+  for (std::size_t i = 0; i < mono_size_; ++i) {
+    const MonoEntry e = mono_[(mono_head_ + i) & (mono_cap_ - 1)];
+    if (id_live(e.id)) {
+      mono_[(mono_head_ + mout) & (mono_cap_ - 1)] = e;
+      ++mout;
+    }
+  }
+  mono_size_ = mout;
+  stale_in_heap_ = 0;
+  if (out < 2) return;
+  for (std::size_t i = ((out - 2) >> kArityShift) + 1; i-- > 0;) sift_down(i);
 }
 
 PeriodicTask::PeriodicTask(Simulator& sim, TimeNs period, Simulator::Callback cb)
     : sim_(sim), period_(period), cb_(std::move(cb)) {
   PAS_CHECK(period_ > 0);
-  PAS_CHECK(cb_ != nullptr);
+  PAS_CHECK(cb_);
 }
 
 void PeriodicTask::start() {
@@ -71,12 +127,12 @@ void PeriodicTask::stop() {
   }
 }
 
-void PeriodicTask::arm() {
-  pending_ = sim_.schedule_after(period_, [this] {
-    pending_ = Simulator::kInvalidEvent;
-    cb_();
-    if (!stopped_) arm();  // cb_ may have called stop()
-  });
+void PeriodicTask::arm() { pending_ = sim_.schedule_after(period_, Tick{this}); }
+
+void PeriodicTask::tick() {
+  pending_ = Simulator::kInvalidEvent;
+  cb_();
+  if (!stopped_) arm();  // cb_ may have called stop()
 }
 
 }  // namespace pas::sim
