@@ -31,7 +31,7 @@ core::CellSpec hdd_cell(bool write_cache, bool ncq, iogen::Pattern pattern, ioge
     auto cfg = devices::hdd_exos_7e2000();
     cfg.write_cache_enabled = write_cache;
     cfg.ncq_enabled = ncq;
-    hdd::HddDevice dev(sim, cfg);
+    hdd::HddDevice dev(sim, cfg, spec.job.seed);
     core::ExperimentOutput out;
     out.job = iogen::run_job(sim, dev, spec.job);
     out.point.device = devices::label(spec.device);

@@ -27,10 +27,9 @@ void print_trace(const power::PowerTrace& trace, TimeNs step) {
 
 power::PowerTrace evo_transition(bool entering) {
   sim::Simulator sim;
-  auto handle = devices::make_handle(devices::DeviceId::kEvo860, sim, 1);
-  devmgmt::SataAlpm alpm(*handle.pm);
-  power::MeasurementRig rig(sim, *handle.device, devices::rig_for(devices::DeviceId::kEvo860),
-                            42);
+  auto evo = devices::make_device(sim, devices::DeviceId::kEvo860, 1);
+  devmgmt::SataAlpm& alpm = *evo.alpm;
+  power::MeasurementRig& rig = *evo.rig;
   if (entering) {
     rig.start();
     sim.schedule_at(milliseconds(200),
@@ -74,16 +73,15 @@ int main(int, char**) {
   print_banner("Section 3.2.2: HDD standby");
   {
     sim::Simulator sim;
-    auto handle = devices::make_handle(devices::DeviceId::kHdd, sim, 1);
-    devmgmt::SataAlpm alpm(*handle.pm);
-    const Watts idle = handle.device->instantaneous_power();
-    alpm.standby_immediate();
+    auto hdd = devices::make_device(sim, devices::DeviceId::kHdd, 1);
+    const Watts idle = hdd.device->instantaneous_power();
+    hdd.alpm->standby_immediate();
     sim.run_until(seconds(10));
-    const Watts standby = handle.device->instantaneous_power();
+    const Watts standby = hdd.device->instantaneous_power();
     // Wake with an IO and measure the latency penalty.
     TimeNs lat = 0;
-    handle.device->submit(sim::IoRequest{sim::IoOp::kRead, 0, 4096},
-                          [&](const sim::IoCompletion& c) { lat = c.latency(); });
+    hdd.device->submit(sim::IoRequest{sim::IoOp::kRead, 0, 4096},
+                       [&](const sim::IoCompletion& c) { lat = c.latency(); });
     sim.run_to_completion();
     std::printf("idle %.2f W -> standby %.2f W: saves %.2f W (paper: 3.76 -> 1.1, 2.66 W)\n",
                 idle, standby, idle - standby);

@@ -22,17 +22,16 @@ using devices::DeviceId;
 // Lowest power the host can reach without IO: idle, or standby if supported.
 core::ExperimentOutput floor_cell(const core::CellSpec& spec, const core::ExperimentOptions& o) {
   sim::Simulator sim;
-  auto handle = devices::make_handle(spec.device, sim, o.seed);
-  devmgmt::SataAlpm alpm(*handle.pm);
-  if (handle.pm->supports_standby()) {
-    alpm.standby_immediate();
-  } else if (handle.pm->supports_alpm()) {
-    alpm.set_link_pm(sim::LinkPmState::kSlumber);
+  const auto dev = devices::make_device(sim, spec.device, o.seed);
+  if (dev.pm->supports_standby()) {
+    dev.alpm->standby_immediate();
+  } else if (dev.pm->supports_alpm()) {
+    dev.alpm->set_link_pm(sim::LinkPmState::kSlumber);
   }
   sim.run_until(seconds(15));
   core::ExperimentOutput out;
   out.point.device = devices::label(spec.device);
-  out.point.avg_power_w = handle.device->instantaneous_power();
+  out.point.avg_power_w = dev.device->instantaneous_power();
   return out;
 }
 

@@ -3,18 +3,17 @@
 // A storage server with 16 NVMe SSDs and 2 HDDs — the paper's motivating
 // configuration, whose storage power dynamic range rivals the host's — runs
 // a sustained write-heavy workload while the facility's power budget
-// changes. The PowerAdaptiveController plans per-device configurations from
-// the measured power-throughput model (power states + IO shaping + standby
-// parking), applies them through the NVMe/SATA admin paths, and the host
-// routes IO only to active devices (power-aware IO redirection).
+// changes. The devices live on ONE core::Testbed timeline; a
+// core::FleetAdapter closes the loop: the PowerAdaptiveController plans
+// per-device configurations from the measured power-throughput model (power
+// states + IO shaping + standby parking), applies them through the live
+// NVMe/SATA admin paths, and routes each phase's jobs only to the devices
+// the plan gives throughput (power-aware IO redirection).
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "common/stats.h"
 #include "common/table.h"
-#include "core/controller.h"
-#include "devices/specs.h"
+#include "core/testbed.h"
 #include "iogen/engine.h"
 #include "sim/simulator.h"
 
@@ -37,44 +36,37 @@ model::ExperimentPoint option(int ps, std::uint32_t chunk, int qd, double watts,
 
 int main() {
   using namespace pas;
-  sim::Simulator sim;
 
-  // Build the fleet: 16 SSD2-class drives + 2 HDDs.
-  std::vector<devices::DeviceHandle> handles;
+  // Build the fleet on one shared timeline: 16 SSD2-class drives + 2 HDDs.
+  core::Testbed testbed;
+  std::vector<core::FleetDeviceOptions> opts;
   for (int i = 0; i < 16; ++i) {
-    handles.push_back(devices::make_handle(devices::DeviceId::kSsd2, sim, 100 + i));
+    testbed.add_device(devices::DeviceId::kSsd2, 100 + i);
+    core::FleetDeviceOptions d;
+    d.name = "ssd" + std::to_string(i);
+    // Measured configuration options (from the calibrated section 3
+    // campaign; see bench_fig10_model for producing these from scratch).
+    d.options = {option(0, 256 * 1024, 64, 14.9, 3100.0),
+                 option(1, 256 * 1024, 64, 12.0, 2300.0),
+                 option(2, 256 * 1024, 64, 10.2, 1650.0),
+                 option(0, 256 * 1024, 1, 8.6, 1900.0)};
+    opts.push_back(std::move(d));
   }
   for (int i = 0; i < 2; ++i) {
-    handles.push_back(devices::make_handle(devices::DeviceId::kHdd, sim, 200 + i));
+    testbed.add_device(devices::DeviceId::kHdd, 200 + i);
+    core::FleetDeviceOptions d;
+    d.name = "hdd" + std::to_string(i);
+    d.options = {option(0, 2 * 1024 * 1024, 64, 4.2, 150.0)};
+    d.supports_standby = true;
+    d.standby_power_w = 1.05;
+    opts.push_back(std::move(d));
   }
-
-  // Measured configuration options (from the calibrated section 3 campaign;
-  // see bench_fig10_model for how these are produced from scratch).
-  std::vector<core::ManagedDevice> fleet;
-  for (std::size_t i = 0; i < handles.size(); ++i) {
-    core::ManagedDevice d;
-    d.device = handles[i].device.get();
-    d.pm = handles[i].pm;
-    if (handles[i].hdd != nullptr) {
-      d.name = "hdd" + std::to_string(i - 16);
-      d.options = {option(0, 2 * 1024 * 1024, 64, 4.2, 150.0)};
-      d.supports_standby = true;
-      d.standby_power_w = 1.05;
-    } else {
-      d.name = "ssd" + std::to_string(i);
-      d.options = {option(0, 256 * 1024, 64, 14.9, 3100.0),
-                   option(1, 256 * 1024, 64, 12.0, 2300.0),
-                   option(2, 256 * 1024, 64, 10.2, 1650.0),
-                   option(0, 256 * 1024, 1, 8.6, 1900.0)};
-    }
-    fleet.push_back(std::move(d));
-  }
-  core::PowerAdaptiveController controller(std::move(fleet));
+  core::FleetAdapter adapter(testbed, std::move(opts));
 
   std::printf("fleet floor (all idle): %.1f W; ceiling at full load: ~%.0f W\n",
-              controller.measured_power(), 16 * 14.9 + 2 * 4.2);
+              testbed.measured_power(), 16 * 14.9 + 2 * 4.2);
 
-  // Budget timeline: normal -> 15%% cut -> 40%% cut (demand response) ->
+  // Budget timeline: normal -> 15% cut -> 40% cut (demand response) ->
   // restore. Each phase runs 4 s of sustained random writes.
   struct Phase {
     const char* name;
@@ -87,71 +79,58 @@ int main() {
 
   Table report({"phase", "budget W", "planned W", "measured W", "fleet MiB/s", "parked",
                 "ps mix"});
+  int phase_no = 0;
   for (const auto& phase : phases) {
-    const auto plan = controller.set_power_budget(phase.budget);
+    ++phase_no;
+    const auto plan = adapter.set_power_budget(phase.budget);
     if (!plan.has_value()) {
       std::printf("budget %.0f W below fleet floor!\n", phase.budget);
       continue;
     }
     int parked = 0;
+    int writers = 0;
     int ps_count[3] = {};
     for (const auto& cfg : *plan) {
       if (cfg.standby) {
         ++parked;
-      } else if (cfg.device.rfind("ssd", 0) == 0) {
-        ++ps_count[cfg.power_state];
+      } else {
+        if (cfg.planned_throughput_mib_s > 0.0) ++writers;
+        if (cfg.device.rfind("ssd", 0) == 0) ++ps_count[cfg.power_state];
       }
     }
 
-    // Drive the advised IO shape at every active device for 4 seconds.
-    const TimeNs phase_end = sim.now() + seconds(4);
-    std::vector<std::unique_ptr<iogen::IoEngine>> engines;
-    for (const auto& cfg : *plan) {
-      if (cfg.standby) continue;
-      // Find the device by routing (each active device gets one engine).
+    // One write job per planned writer, routed and shaped by the adapter
+    // (the redirection policy spreads them over the plan's write targets).
+    std::vector<std::size_t> jobs;
+    for (int w = 0; w < writers; ++w) {
       iogen::JobSpec spec;
       spec.pattern = iogen::Pattern::kRandom;
       spec.op = iogen::OpKind::kWrite;
-      spec.block_bytes = cfg.chunk_bytes;
-      spec.iodepth = cfg.queue_depth;
       spec.io_limit_bytes = 64ULL * GiB;  // time-limited
       spec.time_limit = seconds(3.8);
-      spec.seed = static_cast<std::uint64_t>(sim.now()) + engines.size();
-      sim::BlockDevice* target = controller.route_write();
-      engines.push_back(std::make_unique<iogen::IoEngine>(sim, *target, spec));
-      engines.back()->start(nullptr);
+      spec.seed = static_cast<std::uint64_t>(phase_no) * 100 + static_cast<std::uint64_t>(w);
+      jobs.push_back(adapter.submit(spec, /*shape_to_plan=*/true));
     }
 
-    // Sample the fleet's true power draw through the phase.
-    RunningStats watts;
-    sim::PeriodicTask sampler(sim, milliseconds(10),
-                              [&] { watts.add(controller.measured_power()); });
-    sampler.start();
-    sim.run_until(phase_end);
-    sampler.stop();
-
-    // Drain all in-flight IO before the engines go out of scope (the HDDs'
-    // cached writes can take a while to retire).
-    auto all_finished = [&] {
-      for (const auto& e : engines) {
-        if (!e->finished()) return false;
-      }
-      return true;
-    };
-    while (!all_finished() && sim.step()) {
-    }
+    // Measure the fleet's true power draw through the phase with the
+    // per-device rigs, summed into one fleet trace.
+    testbed.start_rigs();
+    testbed.run_jobs();  // advance the shared timeline until all jobs finish
+    testbed.stop_rigs();
+    const power::PowerTrace fleet_trace = testbed.take_fleet_trace();
 
     double fleet_mib_s = 0.0;
-    for (const auto& e : engines) {
-      fleet_mib_s += mib_per_sec(e->result().bytes, seconds(4));
+    for (const std::size_t j : jobs) {
+      fleet_mib_s += mib_per_sec(testbed.job_result(j).bytes, seconds(4));
     }
     report.add_row({phase.name, Table::fmt(phase.budget, 0),
-                    Table::fmt(controller.planned_power(), 1), Table::fmt(watts.mean(), 1),
-                    Table::fmt(fleet_mib_s, 0), Table::fmt_int(parked),
+                    Table::fmt(adapter.controller().planned_power(), 1),
+                    Table::fmt(fleet_trace.mean_power(), 1), Table::fmt(fleet_mib_s, 0),
+                    Table::fmt_int(parked),
                     "ps0:" + std::to_string(ps_count[0]) + " ps1:" + std::to_string(ps_count[1]) +
                         " ps2:" + std::to_string(ps_count[2])});
-    // Let in-flight IO drain before the next phase.
-    sim.run_until(sim.now() + milliseconds(300));
+    // Let in-flight background work drain before the next phase.
+    testbed.sim().run_until(testbed.sim().now() + milliseconds(300));
   }
 
   print_banner("Power-adaptive fleet under a changing budget");

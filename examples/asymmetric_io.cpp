@@ -33,9 +33,9 @@ struct PolicyResult {
 
 PolicyResult run_policy(bool asymmetric) {
   sim::Simulator sim;
-  std::vector<devices::DeviceHandle> ssds;
+  std::vector<devices::DeviceBundle> ssds;
   for (int i = 0; i < 4; ++i) {
-    ssds.push_back(devices::make_handle(devices::DeviceId::kSsd2, sim, 10 + i));
+    ssds.push_back(devices::make_device(sim, devices::DeviceId::kSsd2, 10 + i));
   }
 
   // Apply power states.

@@ -18,25 +18,24 @@
 int main() {
   using namespace pas;
 
-  // 1. Simulator + device.
+  // 1. Simulator + device bundle: the device model plus its admin control
+  //    surfaces and the measurement rig, all wired by one factory call.
   sim::Simulator sim;
-  devices::DeviceHandle ssd = devices::make_handle(devices::DeviceId::kSsd2, sim, /*seed=*/42);
+  devices::DeviceBundle ssd = devices::make_device(sim, devices::DeviceId::kSsd2, /*seed=*/42);
   std::printf("device: %s (%.1f GiB simulated), idle power %.2f W\n",
               ssd.device->name().c_str(),
               static_cast<double>(ssd.device->capacity_bytes()) / static_cast<double>(GiB),
               ssd.device->instantaneous_power());
 
-  // 2. Measurement rig on the 12 V rail.
-  power::MeasurementRig rig(sim, *ssd.device, devices::rig_for(devices::DeviceId::kSsd2),
-                            /*noise_seed=*/7);
+  // 2. Start the rig (shunt + amplifier + 24-bit ADC on the 12 V rail).
+  power::MeasurementRig& rig = *ssd.rig;
   rig.start();
 
   // 3. Power-cap the drive like `nvme set-feature /dev/nvme0 -f 2 -v 1`.
-  devmgmt::NvmeAdmin admin(*ssd.pm);
-  for (const auto& ps : admin.identify_power_states()) {
+  for (const auto& ps : ssd.nvme->identify_power_states()) {
     std::printf("  ps%d: max power %.0f W\n", ps.index, ps.max_power_w);
   }
-  admin.set_power_state(1);
+  ssd.nvme->set_power_state(1);
 
   // 4. fio-style job: randwrite, bs=256k, iodepth=32, size=1g.
   iogen::JobSpec job;

@@ -38,7 +38,7 @@ struct PolicyResult {
 // Policy A: HDD always spinning, writes go straight to it.
 PolicyResult run_always_on() {
   sim::Simulator sim;
-  auto hdd = devices::make_hdd(sim);
+  auto hdd = devices::make_hdd(sim, 1);
   PolicyResult out;
   std::uint64_t offset = 0;
   sim::PeriodicTask writer(sim, kWriteInterval, [&] {
@@ -59,7 +59,7 @@ PolicyResult run_always_on() {
 // batches.
 PolicyResult run_write_absorb() {
   sim::Simulator sim;
-  auto hdd = devices::make_hdd(sim);
+  auto hdd = devices::make_hdd(sim, 1);
   auto ssd = devices::make_ssd(devices::DeviceId::kSsd3, sim, 7);  // small SATA SSD
   devmgmt::SataAlpm hdd_pm(*hdd);
   hdd_pm.standby_immediate();

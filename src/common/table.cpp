@@ -160,4 +160,11 @@ void ResultSink::note(const char* fmt, ...) {
   va_end(args);
 }
 
+void ResultSink::progress_line(std::size_t done, std::size_t total, double elapsed_s,
+                               double rate_per_s) {
+  std::fprintf(stderr, "\r[%zu/%zu] %.1fs, %.2f cells/s%s", done, total, elapsed_s,
+               rate_per_s, done == total ? "\n" : "");
+  std::fflush(stderr);
+}
+
 }  // namespace pas

@@ -65,6 +65,13 @@ class ResultSink {
   // Free-form printf-style commentary, console only.
   void note(const char* fmt, ...);
 
+  // The in-place campaign progress line ("[12/108] 3.4s, 3.50 cells/s"),
+  // written to stderr with a trailing newline once done == total. Every
+  // bench loop (the CampaignRunner's progress callback, the fleet scenario's
+  // phase loop) prints through this one formatter so the format can't drift.
+  static void progress_line(std::size_t done, std::size_t total, double elapsed_s,
+                            double rate_per_s);
+
   std::size_t tables_emitted() const { return tables_emitted_; }
 
  private:

@@ -5,7 +5,7 @@
 #include "common/check.h"
 #include "core/cell_spec.h"
 #include "core/runner.h"
-#include "devmgmt/admin.h"
+#include "core/testbed.h"
 #include "sim/simulator.h"
 
 namespace pas::core {
@@ -23,6 +23,11 @@ const std::vector<int>& queue_depths() {
 }
 
 double ExperimentOutput::extra(const std::string& key, double fallback) const {
+  // Deliberately a linear scan: `extras` holds the handful of bespoke
+  // metrics a custom cell body records (the ablations add at most ~5), so
+  // O(n) over a short vector beats any tree/hash here and preserves the
+  // insertion order the reporting code relies on. Revisit only if a cell
+  // body ever records dozens of keys.
   for (const auto& [k, v] : extras) {
     if (k == key) return v;
   }
@@ -31,12 +36,17 @@ double ExperimentOutput::extra(const std::string& key, double fallback) const {
 
 ExperimentOutput run_cell(devices::DeviceId id, int power_state, const iogen::JobSpec& spec,
                           const ExperimentOptions& options) {
-  sim::Simulator sim;
-  devices::DeviceHandle handle = devices::make_handle(id, sim, options.seed);
+  // A cell is the single-device instantiation of the testbed: one device,
+  // one job, one rig, one fresh timeline. The event sequence (device
+  // construction -> admin power-state call -> rig start -> engine start ->
+  // drive) matches the historical hand-wired path exactly, so outputs are
+  // bit-identical to it.
+  Testbed testbed;
+  const std::size_t d = testbed.add_device(id, options.seed);
+  devices::DeviceBundle& dev = testbed.device(d);
 
-  devmgmt::NvmeAdmin admin(*handle.pm);
   if (power_state != 0) {
-    PAS_CHECK_MSG(admin.set_power_state(power_state) == devmgmt::AdminStatus::kSuccess,
+    PAS_CHECK_MSG(dev.nvme->set_power_state(power_state) == devmgmt::AdminStatus::kSuccess,
                   "device rejected the power state");
   }
 
@@ -50,15 +60,15 @@ ExperimentOutput run_cell(devices::DeviceId id, int power_state, const iogen::Jo
                                    options.io_limit_scale));
   }
 
-  power::MeasurementRig rig(sim, *handle.device, devices::rig_for(id),
-                            options.seed ^ 0x9E3779B97F4A7C15ULL);
-  rig.start();
-
-  const iogen::JobResult result = iogen::run_job(sim, *handle.device, job);
-  rig.stop();
+  const std::size_t j = testbed.add_job(job, d);
+  testbed.start_rigs();
+  testbed.run_jobs();
+  testbed.stop_rigs();
 
   ExperimentOutput out;
-  out.job = result;
+  out.job = testbed.job_result(j);
+  const iogen::JobResult& result = out.job;
+  power::MeasurementRig& rig = *dev.rig;
   const power::PowerTrace& trace = rig.trace();
   PAS_CHECK_MSG(!trace.empty(), "job finished before the first power sample");
   out.min_power_w = trace.min_power();
@@ -83,8 +93,8 @@ std::vector<CellSpec> randwrite_grid_specs(devices::DeviceId id, bool across_pow
   int states = 1;
   if (across_power_states) {
     sim::Simulator probe_sim;
-    const auto handle = devices::make_handle(id, probe_sim, 1);
-    states = handle.pm->power_state_count();
+    const auto probe = devices::make_device(probe_sim, id, 1);
+    states = probe.pm->power_state_count();
   }
   std::vector<int> state_axis(static_cast<std::size_t>(states));
   for (int ps = 0; ps < states; ++ps) state_axis[static_cast<std::size_t>(ps)] = ps;

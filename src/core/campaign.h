@@ -42,8 +42,9 @@ struct ExperimentOutput {
   double extra(const std::string& key, double fallback = 0.0) const;
 };
 
-// Runs one cell: fresh simulator + device, power state set through the NVMe
-// admin path, rig sampling at 1 kHz, the job to completion.
+// Runs one cell: the single-device instantiation of the core::Testbed —
+// fresh simulator + device, power state set through the NVMe admin path,
+// rig sampling at 1 kHz, the job to completion.
 ExperimentOutput run_cell(devices::DeviceId id, int power_state, const iogen::JobSpec& spec,
                           const ExperimentOptions& options = {});
 

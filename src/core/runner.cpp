@@ -173,9 +173,7 @@ RunnerOptions bench_runner_options(const BenchCli& cli) {
   o.jobs = cli.jobs;
   o.experiment = cli.experiment;
   o.progress = [](const RunnerProgress& p) {
-    std::fprintf(stderr, "\r[%zu/%zu] %.1fs, %.2f cells/s%s", p.done, p.total, p.elapsed_s,
-                 p.cells_per_sec, p.done == p.total ? "\n" : "");
-    std::fflush(stderr);
+    ResultSink::progress_line(p.done, p.total, p.elapsed_s, p.cells_per_sec);
   };
   return o;
 }

@@ -1,0 +1,152 @@
+#include "core/testbed.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace pas::core {
+
+std::size_t Testbed::add_device(devices::DeviceId id, std::uint64_t seed) {
+  devices_.push_back(
+      std::make_unique<devices::DeviceBundle>(devices::make_device(sim_, id, seed)));
+  return devices_.size() - 1;
+}
+
+std::size_t Testbed::index_of(const sim::BlockDevice* dev) const {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i]->device.get() == dev) return i;
+  }
+  PAS_CHECK_MSG(false, "device is not part of this testbed");
+  return 0;
+}
+
+std::size_t Testbed::add_job(const iogen::JobSpec& spec, std::size_t device_index) {
+  PAS_CHECK(device_index < devices_.size());
+  jobs_.push_back(Job{spec, device_index, nullptr});
+  return jobs_.size() - 1;
+}
+
+std::size_t Testbed::add_job(const iogen::JobSpec& spec) {
+  PAS_CHECK_MSG(!devices_.empty(), "routed add_job needs at least one device");
+  std::size_t index;
+  if (router_) {
+    index = router_(spec, jobs_.size());
+    PAS_CHECK_MSG(index < devices_.size(), "router returned an invalid device index");
+  } else {
+    index = round_robin_++ % devices_.size();
+  }
+  return add_job(spec, index);
+}
+
+const iogen::JobResult& Testbed::job_result(std::size_t job) const {
+  PAS_CHECK(job < jobs_.size());
+  PAS_CHECK_MSG(jobs_[job].engine != nullptr, "job has not been started yet");
+  return jobs_[job].engine->result();
+}
+
+void Testbed::run_jobs() {
+  std::vector<iogen::IoEngine*> engines;
+  engines.reserve(jobs_.size());
+  for (Job& job : jobs_) {
+    if (job.engine == nullptr) {
+      job.engine = std::make_unique<iogen::IoEngine>(
+          sim_, *devices_[job.device]->device, job.spec);
+      job.engine->start(nullptr);
+    }
+    engines.push_back(job.engine.get());
+  }
+  iogen::drive(sim_, engines);
+}
+
+void Testbed::start_rigs() {
+  for (auto& d : devices_) d->rig->start();
+}
+
+void Testbed::stop_rigs() {
+  for (auto& d : devices_) d->rig->stop();
+}
+
+Watts Testbed::measured_power() const {
+  Watts total = 0.0;
+  for (const auto& d : devices_) total += d->device->instantaneous_power();
+  return total;
+}
+
+power::PowerTrace Testbed::fleet_trace() const {
+  PAS_CHECK(!devices_.empty());
+  const power::PowerTrace& first = devices_[0]->rig->trace();
+  power::PowerTrace fleet;
+  fleet.reserve(first.size());
+  for (std::size_t s = 0; s < first.size(); ++s) {
+    Watts total = first[s].watts;
+    for (std::size_t d = 1; d < devices_.size(); ++d) {
+      const power::PowerTrace& t = devices_[d]->rig->trace();
+      PAS_CHECK_MSG(t.size() == first.size() && t[s].t == first[s].t,
+                    "per-device rig traces are misaligned; start the rigs together");
+      total += t[s].watts;
+    }
+    fleet.add(first[s].t, total);
+  }
+  return fleet;
+}
+
+power::PowerTrace Testbed::take_fleet_trace() {
+  power::PowerTrace fleet = fleet_trace();
+  for (auto& d : devices_) d->rig->take_trace();
+  return fleet;
+}
+
+FleetAdapter::FleetAdapter(Testbed& testbed, std::vector<FleetDeviceOptions> options)
+    : testbed_(testbed),
+      controller_([&] {
+        PAS_CHECK_MSG(options.size() == testbed.device_count(),
+                      "one FleetDeviceOptions entry per testbed device");
+        std::vector<ManagedDevice> fleet;
+        fleet.reserve(options.size());
+        for (std::size_t i = 0; i < options.size(); ++i) {
+          devices::DeviceBundle& b = testbed.device(i);
+          ManagedDevice d;
+          d.name = std::move(options[i].name);
+          d.device = b.device.get();
+          d.pm = b.pm;
+          d.options = std::move(options[i].options);
+          d.supports_standby = options[i].supports_standby;
+          d.standby_power_w = options[i].standby_power_w;
+          fleet.push_back(std::move(d));
+        }
+        return PowerAdaptiveController(std::move(fleet));
+      }()) {
+  testbed_.set_router(
+      [this](const iogen::JobSpec& spec, std::size_t) { return route(spec); });
+}
+
+std::optional<std::vector<AppliedConfig>> FleetAdapter::set_power_budget(Watts budget_w) {
+  auto plan = controller_.set_power_budget(budget_w);
+  if (!plan.has_value()) return plan;
+  int writers = 0;
+  for (const auto& cfg : *plan) {
+    if (!cfg.standby && cfg.planned_throughput_mib_s > 0.0) ++writers;
+  }
+  controller_.segregate_writes(writers);
+  return plan;
+}
+
+std::size_t FleetAdapter::route(const iogen::JobSpec& spec) {
+  sim::BlockDevice* target =
+      spec.op == iogen::OpKind::kWrite ? controller_.route_write() : controller_.route_read();
+  PAS_CHECK_MSG(target != nullptr, "no active device to route the job to");
+  return testbed_.index_of(target);
+}
+
+std::size_t FleetAdapter::submit(iogen::JobSpec spec, bool shape_to_plan) {
+  const std::size_t index = route(spec);
+  if (shape_to_plan) {
+    // Plan entries are in fleet order == testbed device order.
+    const AppliedConfig& cfg = controller_.current_plan()[index];
+    if (cfg.chunk_bytes != 0) spec.block_bytes = cfg.chunk_bytes;
+    if (cfg.queue_depth > 0) spec.iodepth = cfg.queue_depth;
+  }
+  return testbed_.add_job(spec, index);
+}
+
+}  // namespace pas::core

@@ -1,0 +1,149 @@
+// The testbed (DESIGN.md section 3.2): N devices and M iogen jobs hosted on
+// ONE simulator timeline — the layer between "a cell" (one device, one job,
+// one fresh simulator) and the paper's section 4 fleet scenarios (many live
+// devices sharing a wall clock while budgets step).
+//
+// Ownership: the Testbed owns the simulator, and one devices::DeviceBundle
+// per device (device model + NVMe/ALPM admin handles + measurement rig, all
+// built by devices::make_device). Jobs are owned too; their IoEngines are
+// constructed lazily by run_jobs() so engine construction order — and hence
+// RNG-free event order — matches the historical single-device wiring.
+//
+// Determinism contract: everything on the timeline is a pure function of
+// (device seeds, job specs, admin-call sequence). Timestamp ties fire FIFO
+// in the kernel, devices never share queued resources, and the rigs' noise
+// streams are derived per device (seed ^ devices::kRigNoiseSeedMix), so a
+// single-device Testbed reproduces core::run_cell byte-for-byte and an
+// N-device Testbed is reproducible run-to-run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "devices/specs.h"
+#include "iogen/engine.h"
+#include "iogen/job.h"
+#include "power/trace.h"
+#include "sim/simulator.h"
+
+namespace pas::core {
+
+class Testbed {
+ public:
+  Testbed() = default;
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  const sim::Simulator& sim() const { return sim_; }
+
+  // Constructs the device (with admin handles and a configured-but-stopped
+  // rig) on the shared timeline. Returns its device index.
+  std::size_t add_device(devices::DeviceId id, std::uint64_t seed);
+
+  std::size_t device_count() const { return devices_.size(); }
+  devices::DeviceBundle& device(std::size_t i) { return *devices_[i]; }
+  const devices::DeviceBundle& device(std::size_t i) const { return *devices_[i]; }
+  // Maps a routing decision (a BlockDevice*) back to its device index;
+  // aborts if the pointer is not one of this testbed's devices.
+  std::size_t index_of(const sim::BlockDevice* dev) const;
+
+  // --- job -> device routing hook ---
+  // Consulted by the routed add_job overload. Defaults to round-robin over
+  // the devices; the FleetAdapter installs the controller's redirection
+  // policy here so live jobs follow section 4's IO-redirection rules.
+  using Router = std::function<std::size_t(const iogen::JobSpec&, std::size_t job_index)>;
+  void set_router(Router router) { router_ = std::move(router); }
+
+  // Queues a job for the given device (or routed through the Router).
+  // Returns the job index. The job's IoEngine is created on the next
+  // run_jobs() call.
+  std::size_t add_job(const iogen::JobSpec& spec, std::size_t device_index);
+  std::size_t add_job(const iogen::JobSpec& spec);
+
+  std::size_t job_count() const { return jobs_.size(); }
+  std::size_t job_device(std::size_t job) const { return jobs_[job].device; }
+  // Valid once the job has been started by run_jobs().
+  const iogen::JobResult& job_result(std::size_t job) const;
+
+  // Starts every not-yet-started job (engine construction + start, in job
+  // order) and advances the shared timeline until ALL jobs have finished,
+  // through iogen::drive — the repo's single drive-loop implementation.
+  // Callable repeatedly: phased scenarios add jobs, run, add more, run.
+  void run_jobs();
+
+  // --- measurement ---
+  void start_rigs();
+  void stop_rigs();
+  // Ground-truth fleet draw right now (sum over devices).
+  Watts measured_power() const;
+  // The fleet's measured power trace: the pointwise sum of the per-device
+  // rig traces. Requires all rigs started together (one shared 1 kHz clock),
+  // so samples align; aborts on mismatched traces.
+  power::PowerTrace fleet_trace() const;
+  // fleet_trace(), then resets every device's rig trace (phase boundary).
+  power::PowerTrace take_fleet_trace();
+
+ private:
+  struct Job {
+    iogen::JobSpec spec;
+    std::size_t device = 0;
+    std::unique_ptr<iogen::IoEngine> engine;  // null until run_jobs() starts it
+  };
+
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<devices::DeviceBundle>> devices_;
+  std::vector<Job> jobs_;
+  Router router_;
+  std::size_t round_robin_ = 0;
+};
+
+// Per-device planning inputs for a live fleet: the measured configuration
+// options (typically a Pareto frontier from the section 3 campaign) plus
+// standby capability, in testbed device order.
+struct FleetDeviceOptions {
+  std::string name;
+  std::vector<model::ExperimentPoint> options;
+  bool supports_standby = false;
+  Watts standby_power_w = 0.0;
+};
+
+// Live-fleet adapter: binds a PowerAdaptiveController to a Testbed's
+// devices, closing the section 4 loop — budget steps reach the real
+// NVMe/SATA admin paths of the live devices, and the IO-redirection /
+// write-segregation policy routes the testbed's live jobs (the adapter
+// installs itself as the testbed's Router).
+class FleetAdapter {
+ public:
+  // `options[i]` describes testbed device i; sizes must match.
+  FleetAdapter(Testbed& testbed, std::vector<FleetDeviceOptions> options);
+
+  PowerAdaptiveController& controller() { return controller_; }
+  const PowerAdaptiveController& controller() const { return controller_; }
+
+  // Plans and applies the budget through the controller, then narrows write
+  // routing to the devices the plan actually gives throughput (an idle- or
+  // parked-planned device must not receive writes, or it would exceed its
+  // planned draw). Returns the applied per-device plan, nullopt if the
+  // budget is below the fleet floor.
+  std::optional<std::vector<AppliedConfig>> set_power_budget(Watts budget_w);
+
+  // Routes a live job by the redirection policy (writes -> route_write,
+  // reads -> route_read) and queues it on the testbed. When shape_to_plan,
+  // the job's chunk size and queue depth are first overridden by the current
+  // plan's IO-shaping advice for the routed device. Returns the job index.
+  std::size_t submit(iogen::JobSpec spec, bool shape_to_plan = false);
+
+ private:
+  std::size_t route(const iogen::JobSpec& spec);
+
+  Testbed& testbed_;
+  PowerAdaptiveController controller_;
+};
+
+}  // namespace pas::core

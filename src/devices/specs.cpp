@@ -249,31 +249,33 @@ std::unique_ptr<ssd::SsdDevice> make_ssd(DeviceId id, sim::Simulator& sim, std::
   return nullptr;
 }
 
-std::unique_ptr<hdd::HddDevice> make_hdd(sim::Simulator& sim) {
-  return std::make_unique<hdd::HddDevice>(sim, hdd_exos_7e2000());
+std::unique_ptr<hdd::HddDevice> make_hdd(sim::Simulator& sim, std::uint64_t seed) {
+  return std::make_unique<hdd::HddDevice>(sim, hdd_exos_7e2000(), seed);
 }
 
-std::unique_ptr<sim::BlockDevice> make_device(DeviceId id, sim::Simulator& sim,
-                                              std::uint64_t seed) {
-  if (id == DeviceId::kHdd) return make_hdd(sim);
-  return make_ssd(id, sim, seed);
-}
-
-DeviceHandle make_handle(DeviceId id, sim::Simulator& sim, std::uint64_t seed) {
-  DeviceHandle h;
-  h.id = id;
+DeviceBundle make_device(sim::Simulator& sim, DeviceId id, std::uint64_t seed) {
+  DeviceBundle b;
+  b.id = id;
+  b.seed = seed;
   if (id == DeviceId::kHdd) {
-    auto hdd = make_hdd(sim);
-    h.hdd = hdd.get();
-    h.pm = hdd.get();
-    h.device = std::move(hdd);
+    auto hdd = make_hdd(sim, seed);
+    b.hdd = hdd.get();
+    b.pm = hdd.get();
+    b.device = std::move(hdd);
   } else {
     auto ssd = make_ssd(id, sim, seed);
-    h.ssd = ssd.get();
-    h.pm = ssd.get();
-    h.device = std::move(ssd);
+    b.ssd = ssd.get();
+    b.pm = ssd.get();
+    b.device = std::move(ssd);
   }
-  return h;
+  b.nvme = std::make_unique<devmgmt::NvmeAdmin>(*b.pm);
+  b.alpm = std::make_unique<devmgmt::SataAlpm>(*b.pm);
+  // The rig draws its imperfect chain constants from its own RNG at
+  // construction and schedules nothing until start(), so building it here
+  // leaves the simulator timeline untouched.
+  b.rig = std::make_unique<power::MeasurementRig>(sim, *b.device, rig_for(id),
+                                                  seed ^ kRigNoiseSeedMix);
+  return b;
 }
 
 }  // namespace pas::devices

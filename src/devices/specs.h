@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "devmgmt/admin.h"
 #include "hdd/config.h"
 #include "hdd/device.h"
 #include "power/rig.h"
@@ -49,26 +50,37 @@ double rail_voltage(DeviceId id);
 // Measurement rig configured for the device's rail (1 kHz ADS1256 chain).
 power::RigConfig rig_for(DeviceId id);
 
-// Constructs a device instance on the simulator. SSDs are returned as
-// BlockDevice; use the PowerManageable side via dynamic dispatch or the
-// typed factories below.
-std::unique_ptr<sim::BlockDevice> make_device(DeviceId id, sim::Simulator& sim,
-                                              std::uint64_t seed);
-
+// Typed single-device factories. Every device is constructed
+// (sim, config, seed) uniformly; the HDD's mechanics are deterministic, but
+// it keeps the seed so heterogeneous fleets can be seeded with one rule.
 std::unique_ptr<ssd::SsdDevice> make_ssd(DeviceId id, sim::Simulator& sim, std::uint64_t seed);
-std::unique_ptr<hdd::HddDevice> make_hdd(sim::Simulator& sim);
+std::unique_ptr<hdd::HddDevice> make_hdd(sim::Simulator& sim, std::uint64_t seed);
 
-// A constructed device with both of its control surfaces (data path and
-// power management), as a host would see it through the block layer plus
-// nvme-cli / hdparm.
-struct DeviceHandle {
+// The rig's ADC-chain noise stream must differ from the device's workload
+// stream even though both derive from one per-cell seed; every construction
+// site uses this mix so a cell's trace is reproducible from its seed alone.
+inline constexpr std::uint64_t kRigNoiseSeedMix = 0x9E3779B97F4A7C15ULL;
+
+// One fully wired device, as a host would see it: the block-layer data path,
+// both admin control surfaces (nvme-cli / hdparm), and the paper's shunt+ADC
+// measurement rig on the device's supply rail (constructed but not started).
+// Everything referenced lives on the heap, so the bundle is freely movable.
+struct DeviceBundle {
   DeviceId id = DeviceId::kSsd1;
+  std::uint64_t seed = 1;
   std::unique_ptr<sim::BlockDevice> device;
-  sim::PowerManageable* pm = nullptr;      // aliases `device`
-  ssd::SsdDevice* ssd = nullptr;           // non-null for SSDs
-  hdd::HddDevice* hdd = nullptr;           // non-null for the HDD
+  sim::PowerManageable* pm = nullptr;       // aliases `device`
+  ssd::SsdDevice* ssd = nullptr;            // non-null for SSDs
+  hdd::HddDevice* hdd = nullptr;            // non-null for the HDD
+  std::unique_ptr<devmgmt::NvmeAdmin> nvme;
+  std::unique_ptr<devmgmt::SataAlpm> alpm;
+  std::unique_ptr<power::MeasurementRig> rig;  // call rig->start() to sample
 };
 
-DeviceHandle make_handle(DeviceId id, sim::Simulator& sim, std::uint64_t seed);
+// The device factory: constructs the device on the simulator and wires the
+// whole bundle (rig noise seed = seed ^ kRigNoiseSeedMix, rail from
+// rig_for). Replaces the hand-wiring previously duplicated across
+// core/campaign.cpp, the benches, and the integration tests.
+DeviceBundle make_device(sim::Simulator& sim, DeviceId id, std::uint64_t seed);
 
 }  // namespace pas::devices

@@ -8,8 +8,8 @@
 
 namespace pas::hdd {
 
-HddDevice::HddDevice(sim::Simulator& sim, HddConfig config)
-    : sim_(sim), config_(std::move(config)), meter_(sim.now(), 0.0) {
+HddDevice::HddDevice(sim::Simulator& sim, HddConfig config, std::uint64_t seed)
+    : sim_(sim), config_(std::move(config)), seed_(seed), meter_(sim.now(), 0.0) {
   PAS_CHECK(config_.capacity_bytes % config_.sector_bytes == 0);
   PAS_CHECK(config_.zones >= 1);
   PAS_CHECK(config_.outer_mib_s >= config_.inner_mib_s);

@@ -46,7 +46,11 @@ struct HddStats {
 
 class HddDevice : public sim::BlockDevice, public sim::PowerManageable {
  public:
-  HddDevice(sim::Simulator& sim, HddConfig config);
+  // Uniform device-construction contract: (sim, config, seed). The
+  // mechanical model is fully deterministic — platter angle is a function of
+  // simulated time — so the seed changes no behavior; it is retained so
+  // heterogeneous fleets can seed every device through one rule.
+  HddDevice(sim::Simulator& sim, HddConfig config, std::uint64_t seed);
 
   // --- sim::BlockDevice ---
   const std::string& name() const override { return config_.name; }
@@ -64,6 +68,7 @@ class HddDevice : public sim::BlockDevice, public sim::PowerManageable {
 
   // --- extras ---
   const HddConfig& config() const { return config_; }
+  std::uint64_t seed() const { return seed_; }
   const HddStats& stats() const { return stats_; }
   std::uint64_t dirty_bytes() const { return dirty_bytes_; }
   bool mechanically_idle() const { return !mech_busy_; }
@@ -121,6 +126,7 @@ class HddDevice : public sim::BlockDevice, public sim::PowerManageable {
 
   sim::Simulator& sim_;
   HddConfig config_;
+  std::uint64_t seed_ = 0;  // unused by the deterministic mechanics; see ctor
   HddStats stats_;
   power::EnergyMeter meter_;
   sim::SerialResource link_;

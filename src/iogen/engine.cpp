@@ -101,13 +101,23 @@ void IoEngine::on_complete(const sim::IoCompletion& c) {
   }
 }
 
+void drive(sim::Simulator& sim, std::span<IoEngine* const> engines) {
+  auto all_finished = [&] {
+    for (IoEngine* e : engines) {
+      if (!e->finished()) return false;
+    }
+    return true;
+  };
+  while (!all_finished() && sim.step()) {
+  }
+  PAS_CHECK_MSG(all_finished(), "simulation drained before the job finished");
+}
+
 JobResult run_job(sim::Simulator& sim, sim::BlockDevice& device, const JobSpec& spec) {
   IoEngine engine(sim, device, spec);
-  bool done = false;
-  engine.start([&] { done = true; });
-  while (!done && sim.step()) {
-  }
-  PAS_CHECK_MSG(done, "simulation drained before the job finished");
+  engine.start(nullptr);
+  IoEngine* const e = &engine;
+  drive(sim, {&e, 1});
   return engine.result();
 }
 

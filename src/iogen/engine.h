@@ -6,6 +6,7 @@
 #include <functional>
 
 #include <memory>
+#include <span>
 
 #include "common/rng.h"
 #include "common/zipf.h"
@@ -52,6 +53,13 @@ class IoEngine {
   bool started_ = false;
   bool finished_ = false;
 };
+
+// THE "advance the simulator until the jobs finish" loop: steps `sim` until
+// every started engine reports finished(). There is exactly one such loop in
+// the repo — run_job and core::Testbed both drive through it — so the
+// stop/drain semantics cannot diverge between the single-device and fleet
+// paths. Aborts if the event queue drains first (a stuck job).
+void drive(sim::Simulator& sim, std::span<IoEngine* const> engines);
 
 // Convenience: run one job to completion on a fresh simulator timeline,
 // returning the result. The simulator is advanced until the job finishes.

@@ -23,9 +23,9 @@ model::ExperimentPoint option(int ps, double watts, double mib_s) {
 // options roughly matching the calibrated devices.
 struct ControllerFixture {
   sim::Simulator sim;
-  devices::DeviceHandle ssd_a = devices::make_handle(devices::DeviceId::kSsd2, sim, 1);
-  devices::DeviceHandle ssd_b = devices::make_handle(devices::DeviceId::kSsd2, sim, 2);
-  devices::DeviceHandle hdd = devices::make_handle(devices::DeviceId::kHdd, sim, 3);
+  devices::DeviceBundle ssd_a = devices::make_device(sim, devices::DeviceId::kSsd2, 1);
+  devices::DeviceBundle ssd_b = devices::make_device(sim, devices::DeviceId::kSsd2, 2);
+  devices::DeviceBundle hdd = devices::make_device(sim, devices::DeviceId::kHdd, 3);
 
   PowerAdaptiveController make_controller() {
     std::vector<ManagedDevice> fleet;

@@ -19,7 +19,7 @@ TEST(PowerDomain, AggregatesHierarchy) {
   sim::Simulator sim;
   auto a = devices::make_ssd(devices::DeviceId::kSsd2, sim, 1);  // idle 5 W
   auto b = devices::make_ssd(devices::DeviceId::kSsd1, sim, 2);  // idle 3.5 W
-  auto c = devices::make_hdd(sim);                               // idle 3.76 W
+  auto c = devices::make_hdd(sim, 1);                               // idle 3.76 W
 
   PowerDomain rack("rack", 1000.0);
   PowerDomain* shelf1 = rack.add_subdomain("shelf1", 100.0);
@@ -123,7 +123,7 @@ TEST(BreakerMonitor, BriefSpikeWithinGraceDoesNotTrip) {
 // trips; distributed across shelves, each shelf stays within its rating.
 struct DeploymentFixture {
   sim::Simulator sim;
-  std::vector<devices::DeviceHandle> ssds;
+  std::vector<devices::DeviceBundle> ssds;
   PowerDomain rack{"rack", 1000.0};
   PowerDomain* shelf_a = rack.add_subdomain("shelf_a", 26.0);
   PowerDomain* shelf_b = rack.add_subdomain("shelf_b", 26.0);
@@ -132,7 +132,7 @@ struct DeploymentFixture {
   // placement[i] = shelf for device i; buggy[i] = controller failed to cap.
   void deploy(const std::vector<PowerDomain*>& placement, const std::vector<bool>& buggy) {
     for (std::size_t i = 0; i < placement.size(); ++i) {
-      ssds.push_back(devices::make_handle(devices::DeviceId::kSsd2, sim, 10 + i));
+      ssds.push_back(devices::make_device(sim, devices::DeviceId::kSsd2, 10 + i));
       placement[i]->attach(ssds.back().device.get());
       // The power emergency: every controller is told to enter ps2 (10 W);
       // buggy ones silently fail (paper: "failures of deployments to reduce

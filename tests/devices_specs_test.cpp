@@ -62,23 +62,43 @@ TEST(Specs, MakeDeviceConstructsEveryId) {
   sim::Simulator sim;
   for (DeviceId id : {DeviceId::kSsd1, DeviceId::kSsd2, DeviceId::kSsd3, DeviceId::kHdd,
                       DeviceId::kEvo860}) {
-    auto dev = make_device(id, sim, 1);
-    ASSERT_NE(dev, nullptr);
-    EXPECT_GT(dev->capacity_bytes(), 0u);
-    EXPECT_GT(dev->instantaneous_power(), 0.0);
+    auto bundle = make_device(sim, id, 1);
+    ASSERT_NE(bundle.device, nullptr);
+    EXPECT_EQ(bundle.id, id);
+    EXPECT_EQ(bundle.seed, 1u);
+    EXPECT_GT(bundle.device->capacity_bytes(), 0u);
+    EXPECT_GT(bundle.device->instantaneous_power(), 0.0);
   }
 }
 
-TEST(Specs, MakeHandleWiresControlSurfaces) {
+TEST(Specs, MakeDeviceWiresControlSurfaces) {
   sim::Simulator sim;
-  auto ssd = make_handle(DeviceId::kSsd2, sim, 1);
+  auto ssd = make_device(sim, DeviceId::kSsd2, 1);
   EXPECT_NE(ssd.ssd, nullptr);
   EXPECT_EQ(ssd.hdd, nullptr);
   EXPECT_EQ(ssd.pm->power_state_count(), 3);
-  auto hdd = make_handle(DeviceId::kHdd, sim, 1);
+  ASSERT_NE(ssd.nvme, nullptr);
+  EXPECT_EQ(ssd.nvme->identify_power_states().size(), 3u);
+  auto hdd = make_device(sim, DeviceId::kHdd, 1);
   EXPECT_EQ(hdd.ssd, nullptr);
   EXPECT_NE(hdd.hdd, nullptr);
   EXPECT_TRUE(hdd.pm->supports_standby());
+  EXPECT_EQ(hdd.hdd->seed(), 1u);
+  ASSERT_NE(hdd.alpm, nullptr);
+  EXPECT_EQ(hdd.alpm->check_power_mode(), sim::AtaPowerMode::kActiveIdle);
+}
+
+TEST(Specs, MakeDeviceBundlesAConfiguredRig) {
+  sim::Simulator sim;
+  auto ssd = make_device(sim, DeviceId::kSsd2, 7);
+  ASSERT_NE(ssd.rig, nullptr);
+  // Configured for the device's rail, idle until started.
+  EXPECT_DOUBLE_EQ(ssd.rig->config().rail_voltage_v, rail_voltage(DeviceId::kSsd2));
+  EXPECT_TRUE(ssd.rig->trace().empty());
+  ssd.rig->start();
+  sim.run_until(milliseconds(20));
+  ssd.rig->stop();
+  EXPECT_GE(ssd.rig->trace().size(), 10u);
 }
 
 TEST(Specs, NandBandwidthExceedsNoLinkStarvation) {

@@ -66,7 +66,7 @@ TEST(SataAlpm, UnsupportedOnEnterpriseNvme) {
 
 TEST(SataAlpm, StandbyImmediateOnHdd) {
   sim::Simulator sim;
-  hdd::HddDevice dev(sim, devices::hdd_exos_7e2000());
+  hdd::HddDevice dev(sim, devices::hdd_exos_7e2000(), 1);
   SataAlpm alpm(dev);
   EXPECT_EQ(alpm.check_power_mode(), sim::AtaPowerMode::kActiveIdle);
   EXPECT_EQ(alpm.standby_immediate(), AdminStatus::kSuccess);

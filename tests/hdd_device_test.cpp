@@ -23,13 +23,13 @@ TimeNs run_one_io(sim::Simulator& sim, HddDevice& dev, sim::IoOp op, std::uint64
 
 TEST(HddDevice, IdlePowerIs376) {
   sim::Simulator sim;
-  HddDevice dev(sim, exos());
+  HddDevice dev(sim, exos(), 1);
   EXPECT_NEAR(dev.instantaneous_power(), 3.76, 1e-9);  // section 3.2.2
 }
 
 TEST(HddDevice, RandomReadPaysSeekAndRotation) {
   sim::Simulator sim;
-  HddDevice dev(sim, exos());
+  HddDevice dev(sim, exos(), 1);
   // A read far from the head's initial position: seek + rotation + transfer.
   const TimeNs lat = run_one_io(sim, dev, sim::IoOp::kRead, 1 * TiB, 4096);
   EXPECT_GT(lat, milliseconds(4));
@@ -40,7 +40,7 @@ TEST(HddDevice, RandomReadPaysSeekAndRotation) {
 
 TEST(HddDevice, SequentialReadsStreamAfterFirst) {
   sim::Simulator sim;
-  HddDevice dev(sim, exos());
+  HddDevice dev(sim, exos(), 1);
   // Two back-to-back sequential reads: the second streams at media rate.
   TimeNs lat2 = -1;
   dev.submit(sim::IoRequest{sim::IoOp::kRead, 0, 1 * MiB}, [&](const sim::IoCompletion&) {
@@ -56,8 +56,8 @@ TEST(HddDevice, SequentialReadsStreamAfterFirst) {
 
 TEST(HddDevice, OuterTracksFasterThanInner) {
   sim::Simulator sim;
-  HddDevice outer_dev(sim, exos());
-  HddDevice inner_dev(sim, exos());
+  HddDevice outer_dev(sim, exos(), 1);
+  HddDevice inner_dev(sim, exos(), 1);
   // Sequential 64 MiB at the outer edge vs the inner edge.
   auto run_seq = [&](HddDevice& dev, std::uint64_t base) {
     iogen::JobSpec spec;
@@ -79,7 +79,7 @@ TEST(HddDevice, OuterTracksFasterThanInner) {
 
 TEST(HddDevice, WriteCacheAbsorbsWritesQuickly) {
   sim::Simulator sim;
-  HddDevice dev(sim, exos());
+  HddDevice dev(sim, exos(), 1);
   const TimeNs lat = run_one_io(sim, dev, sim::IoOp::kWrite, 1 * GiB, 4096);
   // Cache admit: link + command overhead only, far below positioning time.
   EXPECT_LT(lat, microseconds(200));
@@ -91,14 +91,14 @@ TEST(HddDevice, WriteCacheDisabledPaysMediaCost) {
   sim::Simulator sim;
   auto cfg = exos();
   cfg.write_cache_enabled = false;
-  HddDevice dev(sim, cfg);
+  HddDevice dev(sim, cfg, 1);
   const TimeNs lat = run_one_io(sim, dev, sim::IoOp::kWrite, 1 * GiB, 4096);
   EXPECT_GT(lat, milliseconds(1));
 }
 
 TEST(HddDevice, OverwriteCoalescesInCache) {
   sim::Simulator sim;
-  HddDevice dev(sim, exos());
+  HddDevice dev(sim, exos(), 1);
   int done = 0;
   auto cb = [&](const sim::IoCompletion&) { ++done; };
   // Two writes to the same offset in quick succession: the second coalesces.
@@ -111,7 +111,7 @@ TEST(HddDevice, OverwriteCoalescesInCache) {
 
 TEST(HddDevice, ReadHitsDirtyCache) {
   sim::Simulator sim;
-  HddDevice dev(sim, exos());
+  HddDevice dev(sim, exos(), 1);
   TimeNs read_lat = -1;
   dev.submit(sim::IoRequest{sim::IoOp::kWrite, 0, 4096}, [&](const sim::IoCompletion&) {
     dev.submit(sim::IoRequest{sim::IoOp::kRead, 0, 4096},
@@ -127,7 +127,7 @@ TEST(HddDevice, ReadHitsDirtyCache) {
 
 TEST(HddDevice, FlushDrainsDirtyData) {
   sim::Simulator sim;
-  HddDevice dev(sim, exos());
+  HddDevice dev(sim, exos(), 1);
   bool flush_done = false;
   for (int i = 0; i < 16; ++i) {
     dev.submit(sim::IoRequest{sim::IoOp::kWrite, static_cast<std::uint64_t>(i) * MiB, 4096},
@@ -144,7 +144,7 @@ TEST(HddDevice, FlushDrainsDirtyData) {
 TEST(HddDevice, NcqImprovesRandomReadThroughput) {
   auto run_reads = [](int qd) {
     sim::Simulator sim;
-    HddDevice dev(sim, exos());
+    HddDevice dev(sim, exos(), 1);
     iogen::JobSpec spec;
     spec.pattern = iogen::Pattern::kRandom;
     spec.op = iogen::OpKind::kRead;
@@ -166,7 +166,7 @@ TEST(HddDevice, NcqDisabledServesFifo) {
     sim::Simulator sim;
     auto cfg = exos();
     cfg.ncq_enabled = ncq;
-    HddDevice dev(sim, cfg);
+    HddDevice dev(sim, cfg, 1);
     iogen::JobSpec spec;
     spec.pattern = iogen::Pattern::kRandom;
     spec.op = iogen::OpKind::kRead;
@@ -181,7 +181,7 @@ TEST(HddDevice, NcqDisabledServesFifo) {
 
 TEST(HddDevice, StandbyPowerAndSpinDown) {
   sim::Simulator sim;
-  HddDevice dev(sim, exos());
+  HddDevice dev(sim, exos(), 1);
   dev.standby_immediate();
   EXPECT_EQ(dev.ata_power_mode(), sim::AtaPowerMode::kStandby);
   sim.run_until(seconds(5));
@@ -201,7 +201,7 @@ TEST(HddDevice, StandbySavingComparableToActiveSaving) {
 
 TEST(HddDevice, IoToStandbyDiskPaysSpinUp) {
   sim::Simulator sim;
-  HddDevice dev(sim, exos());
+  HddDevice dev(sim, exos(), 1);
   dev.standby_immediate();
   sim.run_until(seconds(5));
   const TimeNs lat = run_one_io(sim, dev, sim::IoOp::kRead, 0, 4096);
@@ -213,7 +213,7 @@ TEST(HddDevice, IoToStandbyDiskPaysSpinUp) {
 
 TEST(HddDevice, SpinUpDrawsPeakPower) {
   sim::Simulator sim;
-  HddDevice dev(sim, exos());
+  HddDevice dev(sim, exos(), 1);
   dev.standby_immediate();
   sim.run_until(seconds(5));
   dev.spin_up();
@@ -225,7 +225,7 @@ TEST(HddDevice, SpinUpDrawsPeakPower) {
 
 TEST(HddDevice, StandbyWaitsForDirtyCache) {
   sim::Simulator sim;
-  HddDevice dev(sim, exos());
+  HddDevice dev(sim, exos(), 1);
   for (int i = 0; i < 8; ++i) {
     dev.submit(sim::IoRequest{sim::IoOp::kWrite, static_cast<std::uint64_t>(i) * GiB, 4096},
                [](const sim::IoCompletion&) {});
@@ -240,7 +240,7 @@ TEST(HddDevice, StandbyWaitsForDirtyCache) {
 
 TEST(HddDevice, PowerPeaksDuringSeeks) {
   sim::Simulator sim;
-  HddDevice dev(sim, exos());
+  HddDevice dev(sim, exos(), 1);
   Watts peak = 0.0;
   bool done = false;
   dev.submit(sim::IoRequest{sim::IoOp::kRead, 1 * TiB, 4096},
@@ -251,7 +251,7 @@ TEST(HddDevice, PowerPeaksDuringSeeks) {
 
 TEST(HddDevice, EnergyConservationAtIdle) {
   sim::Simulator sim;
-  HddDevice dev(sim, exos());
+  HddDevice dev(sim, exos(), 1);
   sim.schedule_at(seconds(100), [] {});
   sim.run_to_completion();
   EXPECT_NEAR(dev.consumed_energy(), 376.0, 1e-6);
@@ -259,7 +259,7 @@ TEST(HddDevice, EnergyConservationAtIdle) {
 
 TEST(HddDevice, RejectsMalformedIo) {
   sim::Simulator sim;
-  HddDevice dev(sim, exos());
+  HddDevice dev(sim, exos(), 1);
   auto cb = [](const sim::IoCompletion&) {};
   EXPECT_DEATH(dev.submit(sim::IoRequest{sim::IoOp::kRead, 3, 4096}, cb), "");
   EXPECT_DEATH(dev.submit(sim::IoRequest{sim::IoOp::kWrite, 0, 0}, cb), "");
@@ -269,7 +269,7 @@ TEST(HddDevice, RejectsMalformedIo) {
 
 TEST(HddDevice, PositioningTimeZeroWhenStreaming) {
   sim::Simulator sim;
-  HddDevice dev(sim, exos());
+  HddDevice dev(sim, exos(), 1);
   run_one_io(sim, dev, sim::IoOp::kRead, 0, 1 * MiB);
   EXPECT_EQ(dev.positioning_time(1 * MiB), 0);  // continues the stream
   EXPECT_GT(dev.positioning_time(1 * TiB), milliseconds(5));

@@ -64,40 +64,38 @@ TEST(SustainedWrites, RandomOverwriteBoundedWriteAmplification) {
 
 TEST(SustainedWrites, CapHoldsThroughGc) {
   sim::Simulator sim;
-  ssd::SsdDevice dev(sim, devices::ssd2_p5510(), 1);
-  devmgmt::NvmeAdmin(dev).set_power_state(2);  // 10 W
-  power::MeasurementRig rig(sim, dev, devices::rig_for(DeviceId::kSsd2), 3);
-  rig.start();
-  iogen::run_job(sim, dev, seq_write(256 * KiB, 64, seconds(15)));
-  rig.stop();
-  EXPECT_LE(rig.trace().max_window_average(seconds(10)), 10.0 * 1.02);
+  auto ssd = devices::make_device(sim, DeviceId::kSsd2, 1);
+  ssd.nvme->set_power_state(2);  // 10 W
+  ssd.rig->start();
+  iogen::run_job(sim, *ssd.device, seq_write(256 * KiB, 64, seconds(15)));
+  ssd.rig->stop();
+  EXPECT_LE(ssd.rig->trace().max_window_average(seconds(10)), 10.0 * 1.02);
 }
 
 TEST(AlpmCycles, RepeatedSlumberWakeAccountsEnergy) {
   sim::Simulator sim;
-  ssd::SsdDevice dev(sim, devices::evo860(), 1);
-  devmgmt::SataAlpm alpm(dev);
+  auto evo = devices::make_device(sim, DeviceId::kEvo860, 1);
   // 5 cycles: 1 s slumber, one IO (wakes), back to slumber.
   for (int i = 0; i < 5; ++i) {
-    alpm.set_link_pm(sim::LinkPmState::kSlumber);
+    evo.alpm->set_link_pm(sim::LinkPmState::kSlumber);
     sim.run_until(sim.now() + seconds(1));
-    EXPECT_EQ(dev.link_pm_state(), sim::LinkPmState::kSlumber) << i;
+    EXPECT_EQ(evo.ssd->link_pm_state(), sim::LinkPmState::kSlumber) << i;
     bool done = false;
-    dev.submit(sim::IoRequest{sim::IoOp::kRead, 0, 4096},
-               [&](const sim::IoCompletion&) { done = true; });
+    evo.device->submit(sim::IoRequest{sim::IoOp::kRead, 0, 4096},
+                       [&](const sim::IoCompletion&) { done = true; });
     sim.run_until(sim.now() + seconds(1));
     EXPECT_TRUE(done) << i;
   }
   // Energy sanity: total consumption must be between always-slumber and
   // always-idle bounds.
   const double elapsed_s = to_seconds(sim.now());
-  EXPECT_GT(dev.consumed_energy(), 0.17 * elapsed_s * 0.8);
-  EXPECT_LT(dev.consumed_energy(), 0.35 * elapsed_s * 1.5);
+  EXPECT_GT(evo.device->consumed_energy(), 0.17 * elapsed_s * 0.8);
+  EXPECT_LT(evo.device->consumed_energy(), 0.35 * elapsed_s * 1.5);
 }
 
 TEST(StandbyCycles, HddRepeatedSpinDownUp) {
   sim::Simulator sim;
-  auto dev = devices::make_hdd(sim);
+  auto dev = devices::make_hdd(sim, 1);
   devmgmt::SataAlpm alpm(*dev);
   for (int i = 0; i < 3; ++i) {
     alpm.standby_immediate();
@@ -114,7 +112,7 @@ TEST(StandbyCycles, HddRepeatedSpinDownUp) {
 TEST(StandbyCycles, IoCancelsPendingStandby) {
   // ATA standby is one-shot: an IO wakes the drive and it stays awake.
   sim::Simulator sim;
-  auto dev = devices::make_hdd(sim);
+  auto dev = devices::make_hdd(sim, 1);
   dev->standby_immediate();
   sim.run_until(seconds(5));
   bool done = false;
@@ -166,14 +164,13 @@ TEST(BufferDynamics, BatchedDestageOscillatesNandPower) {
   // SSD1's NAND outruns its host link, so the buffer periodically drains
   // and refills -- the batch-cycling dips of Figure 2a.
   sim::Simulator sim;
-  ssd::SsdDevice dev(sim, devices::ssd1_pm9a3(), 1);
-  power::MeasurementRig rig(sim, dev, devices::rig_for(DeviceId::kSsd1), 5);
-  rig.start();
+  auto ssd = devices::make_device(sim, DeviceId::kSsd1, 5);
+  ssd.rig->start();
   iogen::JobSpec s = seq_write(256 * KiB, 64, seconds(3));
   s.pattern = iogen::Pattern::kRandom;
-  iogen::run_job(sim, dev, s);
-  rig.stop();
-  const auto d = rig.trace().distribution();
+  iogen::run_job(sim, *ssd.device, s);
+  ssd.rig->stop();
+  const auto d = ssd.rig->trace().distribution();
   EXPECT_GT(d.p95 - d.p5, 1.0) << "expected multi-watt power texture";
 }
 
