@@ -32,7 +32,7 @@ void print_violin(const char* name, const power::PowerTrace& trace) {
               name, d.count, d.min, d.p5, d.p25, d.median, d.mean, d.p75, d.p95, d.max);
   // Vertical histogram rendered horizontally: the violin body.
   LinearHistogram h(d.min, d.max + 1e-9, 20);
-  for (const auto& s : trace.samples()) h.add(s.watts);
+  for (const double w : trace.watts()) h.add(w);
   const auto peak = h.max_bin_count();
   for (std::size_t b = 0; b < h.bin_count(); ++b) {
     std::printf("  %6.2f W %s\n", h.bin_center(b),

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Interleaved A/B benchmark protocol — the procedure behind BENCH_simcore.json
+# and BENCH_trace.json:
+#
+#   1. Build the current tree (NEW) at RelWithDebInfo.
+#   2. Build a git worktree at the baseline ref (OLD) with the micro-bench
+#      source copied in unmodified, so both sides run the exact same cases.
+#      Cases that need an API the baseline lacks must be #ifdef-gated on a
+#      feature macro only the new headers define (e.g. PAS_POWER_TRACE_SOA);
+#      those cases simply don't exist in the OLD binary.
+#   3. Alternate OLD/NEW rounds (default 3 each) and keep the min per case.
+#      On a small shared VM single runs swing with background load; the min
+#      of interleaved rounds is stable to a few percent.
+#   4. Optionally wall-time an end-to-end reproduction binary the same way
+#      (set AB_E2E, e.g. AB_E2E="bench_fig7_standby --seed 42 --jobs 1").
+#
+# Usage: scripts/bench_ab.sh <baseline-ref> [bench-name] [rounds]
+#   AB_LIBS  link libs used to register the bench in the baseline tree if it
+#            predates the bench (default: "pas_power benchmark::benchmark")
+#   AB_E2E   end-to-end binary + args to wall-time in both trees (optional)
+#   AB_OUT   result JSON path (default: /tmp/bench_ab_result.json)
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BASE_REF="${1:?usage: scripts/bench_ab.sh <baseline-ref> [bench-name] [rounds]}"
+BENCH="${2:-bench_micro_trace}"
+ROUNDS="${3:-3}"
+AB_LIBS="${AB_LIBS:-pas_power benchmark::benchmark}"
+AB_OUT="${AB_OUT:-/tmp/bench_ab_result.json}"
+
+WORK="$(mktemp -d /tmp/pas-ab.XXXXXX)"
+WT="$WORK/baseline"
+trap 'git -C "$REPO" worktree remove --force "$WT" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "== baseline worktree at $BASE_REF"
+git -C "$REPO" worktree add --detach "$WT" "$BASE_REF" >/dev/null
+
+# Ship the bench source to the baseline and register it if that tree predates
+# the bench. The source must compile against both APIs (see header comment).
+cp "$REPO/bench/$BENCH.cpp" "$WT/bench/"
+if ! grep -q "pas_add_bench($BENCH " "$WT/bench/CMakeLists.txt"; then
+  echo "pas_add_bench($BENCH $AB_LIBS)" >> "$WT/bench/CMakeLists.txt"
+fi
+
+build() { # build <src-dir> — configure+build RelWithDebInfo into <src-dir>/build-ab
+  cmake -S "$1" -B "$1/build-ab" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$1/build-ab" --target "$BENCH" -j "$(nproc)" >/dev/null
+  if [ -n "${AB_E2E:-}" ]; then
+    cmake --build "$1/build-ab" --target "${AB_E2E%% *}" -j "$(nproc)" >/dev/null
+  fi
+}
+echo "== building OLD ($BASE_REF) and NEW (working tree)"
+build "$WT"
+build "$REPO"
+
+OLD_BIN="$WT/build-ab/bench/$BENCH"
+NEW_BIN="$REPO/build-ab/bench/$BENCH"
+
+wall_ms() { # wall_ms <binary> <args...> — one run's wall time in ms on stdout
+  local t0 t1
+  t0=$(date +%s%N)
+  "$@" >/dev/null 2>&1
+  t1=$(date +%s%N)
+  echo $(( (t1 - t0) / 1000000 ))
+}
+
+for r in $(seq 1 "$ROUNDS"); do
+  echo "== round $r/$ROUNDS"
+  "$OLD_BIN" --benchmark_format=json > "$WORK/old_$r.json" 2>/dev/null
+  "$NEW_BIN" --benchmark_format=json > "$WORK/new_$r.json" 2>/dev/null
+  if [ -n "${AB_E2E:-}" ]; then
+    # shellcheck disable=SC2086
+    wall_ms "$WT/build-ab/bench/"${AB_E2E} > "$WORK/old_e2e_$r"
+    # shellcheck disable=SC2086
+    wall_ms "$REPO/build-ab/bench/"${AB_E2E} > "$WORK/new_e2e_$r"
+  fi
+done
+
+python3 - "$WORK" "$ROUNDS" "$AB_OUT" "${AB_E2E:-}" <<'PY'
+import json, sys, glob, os
+work, rounds, out, e2e = sys.argv[1], int(sys.argv[2]), sys.argv[3], sys.argv[4]
+
+def mins(prefix):
+    best = {}
+    for r in range(1, rounds + 1):
+        with open(f"{work}/{prefix}_{r}.json") as f:
+            for b in json.load(f)["benchmarks"]:
+                t = b["real_time"]  # ns by default
+                best[b["name"]] = min(best.get(b["name"], t), t)
+    return best
+
+old, new = mins("old"), mins("new")
+result = {"micro": {}, "end_to_end": {}}
+print(f"\n{'case':<28}{'baseline_ns':>14}{'new_ns':>12}{'speedup':>9}")
+for name, t in new.items():
+    if name in old:
+        result["micro"][name] = {"baseline_ns": round(old[name]), "new_ns": round(t),
+                                 "speedup": round(old[name] / t, 2)}
+        print(f"{name:<28}{old[name]:>14.0f}{t:>12.0f}{old[name]/t:>8.2f}x")
+    else:
+        result["micro"][name] = {"baseline_ns": None, "new_ns": round(t), "speedup": None}
+        print(f"{name:<28}{'(new API)':>14}{t:>12.0f}{'—':>9}")
+
+if e2e:
+    o = min(int(open(f"{work}/old_e2e_{r}").read()) for r in range(1, rounds + 1))
+    n = min(int(open(f"{work}/new_e2e_{r}").read()) for r in range(1, rounds + 1))
+    result["end_to_end"][e2e.split()[0]] = {
+        "args": " ".join(e2e.split()[1:]), "baseline_ms": o, "new_ms": n,
+        "speedup": round(o / n, 2)}
+    print(f"\n{e2e}: baseline {o} ms, new {n} ms, {o/n:.2f}x")
+
+with open(out, "w") as f:
+    json.dump(result, f, indent=2)
+print(f"\nwrote {out}")
+PY

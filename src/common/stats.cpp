@@ -54,7 +54,7 @@ double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
 
 void SampleSet::add(double x) {
   samples_.push_back(x);
-  sorted_valid_ = false;
+  sorted_ = false;
 }
 
 double SampleSet::mean() const {
@@ -75,32 +75,31 @@ double SampleSet::stddev() const {
 double SampleSet::min() const {
   PAS_CHECK(!samples_.empty());
   ensure_sorted();
-  return sorted_.front();
+  return samples_.front();
 }
 
 double SampleSet::max() const {
   PAS_CHECK(!samples_.empty());
   ensure_sorted();
-  return sorted_.back();
+  return samples_.back();
 }
 
 double SampleSet::quantile(double q) const {
   PAS_CHECK(!samples_.empty());
   PAS_CHECK(q >= 0.0 && q <= 1.0);
   ensure_sorted();
-  if (sorted_.size() == 1) return sorted_.front();
-  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  if (samples_.size() == 1) return samples_.front();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
   const auto idx = static_cast<std::size_t>(pos);
-  if (idx + 1 >= sorted_.size()) return sorted_.back();
+  if (idx + 1 >= samples_.size()) return samples_.back();
   const double frac = pos - static_cast<double>(idx);
-  return sorted_[idx] * (1.0 - frac) + sorted_[idx + 1] * frac;
+  return samples_[idx] * (1.0 - frac) + samples_[idx + 1] * frac;
 }
 
 void SampleSet::ensure_sorted() const {
-  if (sorted_valid_) return;
-  sorted_ = samples_;
-  std::sort(sorted_.begin(), sorted_.end());
-  sorted_valid_ = true;
+  if (sorted_) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
 }
 
 DistributionSummary summarize(const SampleSet& s) {

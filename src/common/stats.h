@@ -34,8 +34,19 @@ class RunningStats {
 
 // Exact order statistics over a retained sample vector. Suitable for the
 // volumes this library produces (<= a few million samples per experiment).
+//
+// One buffer only: the first order-statistic query sorts `samples_` in
+// place (no shadow copy, so peak memory is one vector, not two). Insertion
+// order is therefore not observable through samples() after such a query;
+// mean()/stddev() accumulate over whatever order the buffer holds when
+// called, so callers that need the insertion-order sum (summarize does)
+// must take it before querying quantiles.
 class SampleSet {
  public:
+  SampleSet() = default;
+  // Adopts an existing value vector (e.g. a trace's SoA watts array copy).
+  explicit SampleSet(std::vector<double> samples) : samples_(std::move(samples)) {}
+
   void reserve(std::size_t n) { samples_.reserve(n); }
   void add(double x);
 
@@ -54,9 +65,8 @@ class SampleSet {
  private:
   void ensure_sorted() const;
 
-  std::vector<double> samples_;
-  mutable std::vector<double> sorted_;
-  mutable bool sorted_valid_ = false;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
 };
 
 // Five-number-plus summary of a distribution, as printed for the paper's

@@ -73,26 +73,29 @@ Watts Testbed::measured_power() const {
 }
 
 power::PowerTrace Testbed::fleet_trace() const {
+  // Device-major accumulation: one copy of the first device's trace, then
+  // one contiguous add-loop per remaining device. Alignment (same sample
+  // count and timestamps) is validated once per device by
+  // accumulate_aligned — O(1) between two uniform-grid traces — instead of
+  // per sample. The per-sample sum order (device 0 + 1 + 2 + ...) matches
+  // the old sample-major loop, so the fleet trace is bit-identical.
   PAS_CHECK(!devices_.empty());
-  const power::PowerTrace& first = devices_[0]->rig->trace();
-  power::PowerTrace fleet;
-  fleet.reserve(first.size());
-  for (std::size_t s = 0; s < first.size(); ++s) {
-    Watts total = first[s].watts;
-    for (std::size_t d = 1; d < devices_.size(); ++d) {
-      const power::PowerTrace& t = devices_[d]->rig->trace();
-      PAS_CHECK_MSG(t.size() == first.size() && t[s].t == first[s].t,
-                    "per-device rig traces are misaligned; start the rigs together");
-      total += t[s].watts;
-    }
-    fleet.add(first[s].t, total);
+  power::PowerTrace fleet = devices_[0]->rig->trace();
+  for (std::size_t d = 1; d < devices_.size(); ++d) {
+    fleet.accumulate_aligned(devices_[d]->rig->trace());
   }
   return fleet;
 }
 
 power::PowerTrace Testbed::take_fleet_trace() {
-  power::PowerTrace fleet = fleet_trace();
-  for (auto& d : devices_) d->rig->take_trace();
+  // Same device-major sum, but each rig's trace is moved out (take_trace)
+  // and consumed in turn — no intermediate fleet copy and the rigs end up
+  // reset for the next phase.
+  PAS_CHECK(!devices_.empty());
+  power::PowerTrace fleet = devices_[0]->rig->take_trace();
+  for (std::size_t d = 1; d < devices_.size(); ++d) {
+    fleet.accumulate_aligned(devices_[d]->rig->take_trace());
+  }
   return fleet;
 }
 

@@ -20,6 +20,10 @@ MeasurementRig::MeasurementRig(sim::Simulator& sim, const sim::BlockDevice& devi
   PAS_CHECK(config_.adc_bits >= 8 && config_.adc_bits <= 32);
   PAS_CHECK(config_.sample_period > 0);
 
+  adc_full_scale_ = static_cast<double>(1LL << (config_.adc_bits - 1));
+  adc_code_min_ = -adc_full_scale_;
+  adc_code_max_ = adc_full_scale_ - 1.0;
+
   auto uniform_pm = [this](double mag) { return (2.0 * rng_.next_double() - 1.0) * mag; };
 
   // The physical parts deviate from their nominal values within tolerance.
@@ -67,11 +71,10 @@ Watts MeasurementRig::measure_once(Watts true_power) {
   const double noise_v = rng_.next_gaussian(0.0, config_.amp_noise_v_rms);
   const double amp_v = (shunt_v + actual_offset_v_ + noise_v) * actual_gain_;
 
-  const double full_scale = static_cast<double>(1LL << (config_.adc_bits - 1));
-  double code = std::round(amp_v / config_.adc_vref_v * full_scale);
+  double code = std::round(amp_v / config_.adc_vref_v * adc_full_scale_);
   code += std::round(rng_.next_gaussian(0.0, config_.adc_noise_lsb_rms));
-  code = std::clamp(code, -full_scale, full_scale - 1.0);
-  const double adc_v = code / full_scale * config_.adc_vref_v;
+  code = std::clamp(code, adc_code_min_, adc_code_max_);
+  const double adc_v = code / adc_full_scale_ * config_.adc_vref_v;
 
   // Reconstruction with the calibrated chain constants.
   const double est_shunt_v = adc_v / recon_gain_ - recon_offset_v_;

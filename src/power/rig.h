@@ -83,6 +83,14 @@ class MeasurementRig {
   // Reconstruction constants (nominal, refined by calibration).
   double recon_gain_;
   double recon_offset_v_;
+  // Derived ADC constants, hoisted out of measure_once (it runs once per
+  // sample, 1 kHz per device): the 2^(bits-1) full-scale code and the clamp
+  // bounds. Only bit-preserving hoists are taken — folding the divisions by
+  // vref/gain/shunt into reciprocal multiplies would perturb the least
+  // significant bits and break the trace bit-identity contract.
+  double adc_full_scale_;
+  double adc_code_min_;
+  double adc_code_max_;
 
   Joules last_energy_ = 0.0;
   TimeNs last_sample_time_ = 0;

@@ -5,101 +5,269 @@
 #include "common/check.h"
 
 namespace pas::power {
+namespace {
+
+// A resolved range over either trace representation: `times == nullptr`
+// means the uniform grid start + i * period. All reductions below run on
+// this one shape, so PowerTrace and TraceView share a single kernel each.
+struct Span {
+  const double* w = nullptr;
+  std::size_t n = 0;
+  const TimeNs* times = nullptr;
+  TimeNs start = 0;
+  TimeNs period = 0;
+
+  TimeNs time(std::size_t i) const {
+    return times ? times[i] : start + static_cast<TimeNs>(i) * period;
+  }
+};
+
+Span make_span(const PowerTrace& t, std::size_t begin, std::size_t end) {
+  Span s;
+  s.w = t.watts().data() + begin;
+  s.n = end - begin;
+  if (t.is_uniform()) {
+    s.start = s.n == 0 ? 0 : t.time_at(begin);
+    s.period = t.period();
+  } else {
+    s.times = t.times_data() + begin;
+  }
+  return s;
+}
+
+double sum_range(const Span& s) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < s.n; ++i) sum += s.w[i];
+  return sum;
+}
+
+double min_range(const Span& s) {
+  double minv = s.w[0];
+  for (std::size_t i = 1; i < s.n; ++i) minv = std::min(minv, s.w[i]);
+  return minv;
+}
+
+double max_range(const Span& s) {
+  double maxv = s.w[0];
+  for (std::size_t i = 1; i < s.n; ++i) maxv = std::max(maxv, s.w[i]);
+  return maxv;
+}
+
+double energy_range(const Span& s) {
+  if (s.n < 2) return 0.0;
+  // Each sample reports (for the integrating rig) average power over the
+  // preceding period; multiply by the inter-sample spacing.
+  double joules = 0.0;
+  for (std::size_t i = 1; i < s.n; ++i) {
+    joules += s.w[i] * to_seconds(s.time(i) - s.time(i - 1));
+  }
+  return joules;
+}
+
+// The fused single pass: one independent accumulator per quantity, each
+// updated in the same left-to-right order its standalone pass used, so every
+// field is bit-identical to the separate min/max/mean/window methods.
+TraceSummary analyze_range(const Span& s, TimeNs window) {
+  PAS_CHECK(window > 0);
+  TraceSummary out;
+  out.count = s.n;
+  if (s.n == 0) return out;
+  // NVMe power states constrain the average over any window of the full
+  // length; shorter bursts are unconstrained. Slide full-length windows with
+  // two pointers; when the trace is shorter than one window, the only
+  // meaningful value is the overall mean.
+  const bool windowed = s.time(s.n - 1) - s.time(0) >= window;
+  double minv = s.w[0];
+  double maxv = s.w[0];
+  double sum = 0.0;
+  double best = 0.0;
+  double window_sum = 0.0;
+  std::size_t lo = 0;
+  for (std::size_t hi = 0; hi < s.n; ++hi) {
+    const double x = s.w[hi];
+    minv = std::min(minv, x);
+    maxv = std::max(maxv, x);
+    sum += x;
+    if (windowed) {
+      window_sum += x;
+      while (s.time(hi) - s.time(lo) >= window) {
+        // [lo..hi] spans at least `window`: a complete window ending at hi.
+        const auto cnt = static_cast<double>(hi - lo + 1);
+        best = std::max(best, window_sum / cnt);
+        window_sum -= s.w[lo];
+        ++lo;
+      }
+    }
+  }
+  out.min_w = minv;
+  out.max_w = maxv;
+  out.mean_w = sum / static_cast<double>(s.n);
+  out.max_window_w = windowed ? best : out.mean_w;
+  return out;
+}
+
+}  // namespace
+
+PowerTrace PowerTrace::uniform(TimeNs start_t, TimeNs period, std::vector<double> watts) {
+  PAS_CHECK(watts.size() < 2 || period > 0);
+  PowerTrace t;
+  t.start_t_ = start_t;
+  t.period_ = period;
+  t.watts_ = std::move(watts);
+  return t;
+}
 
 void PowerTrace::add(TimeNs t, Watts w) {
-  PAS_CHECK_MSG(samples_.empty() || t > samples_.back().t,
-                "trace timestamps must be strictly increasing");
-  samples_.push_back(PowerSample{t, w});
+  if (!times_.empty()) {
+    PAS_CHECK_MSG(t > times_.back(), "trace timestamps must be strictly increasing");
+    times_.push_back(t);
+    watts_.push_back(w);
+    return;
+  }
+  const std::size_t n = watts_.size();
+  if (n == 0) {
+    start_t_ = t;
+  } else if (n == 1) {
+    PAS_CHECK_MSG(t > start_t_, "trace timestamps must be strictly increasing");
+    period_ = t - start_t_;
+  } else if (t != start_t_ + static_cast<TimeNs>(n) * period_) {
+    // The sample leaves the uniform grid: materialize explicit timestamps
+    // once and continue on the fallback representation.
+    const TimeNs last = start_t_ + static_cast<TimeNs>(n - 1) * period_;
+    PAS_CHECK_MSG(t > last, "trace timestamps must be strictly increasing");
+    times_.reserve(std::max(watts_.capacity(), n + 1));
+    for (std::size_t i = 0; i < n; ++i) {
+      times_.push_back(start_t_ + static_cast<TimeNs>(i) * period_);
+    }
+    times_.push_back(t);
+  }
+  watts_.push_back(w);
 }
 
 TimeNs PowerTrace::start_time() const {
-  PAS_CHECK(!samples_.empty());
-  return samples_.front().t;
+  PAS_CHECK(!watts_.empty());
+  return time_at(0);
 }
 
 TimeNs PowerTrace::end_time() const {
-  PAS_CHECK(!samples_.empty());
-  return samples_.back().t;
+  PAS_CHECK(!watts_.empty());
+  return time_at(watts_.size() - 1);
 }
 
 TimeNs PowerTrace::duration() const { return end_time() - start_time(); }
 
 Watts PowerTrace::mean_power() const {
-  if (samples_.empty()) return 0.0;
-  double sum = 0.0;
-  for (const auto& s : samples_) sum += s.watts;
-  return sum / static_cast<double>(samples_.size());
+  if (watts_.empty()) return 0.0;
+  return sum_range(make_span(*this, 0, watts_.size())) / static_cast<double>(watts_.size());
 }
 
 Watts PowerTrace::min_power() const {
-  PAS_CHECK(!samples_.empty());
-  return std::min_element(samples_.begin(), samples_.end(),
-                          [](const PowerSample& a, const PowerSample& b) {
-                            return a.watts < b.watts;
-                          })
-      ->watts;
+  PAS_CHECK(!watts_.empty());
+  return min_range(make_span(*this, 0, watts_.size()));
 }
 
 Watts PowerTrace::max_power() const {
-  PAS_CHECK(!samples_.empty());
-  return std::max_element(samples_.begin(), samples_.end(),
-                          [](const PowerSample& a, const PowerSample& b) {
-                            return a.watts < b.watts;
-                          })
-      ->watts;
+  PAS_CHECK(!watts_.empty());
+  return max_range(make_span(*this, 0, watts_.size()));
 }
 
-Joules PowerTrace::energy() const {
-  if (samples_.size() < 2) return 0.0;
-  // Each sample reports (for the integrating rig) average power over the
-  // preceding period; multiply by the inter-sample spacing.
-  double joules = 0.0;
-  for (std::size_t i = 1; i < samples_.size(); ++i) {
-    joules += samples_[i].watts * to_seconds(samples_[i].t - samples_[i - 1].t);
-  }
-  return joules;
-}
+Joules PowerTrace::energy() const { return energy_range(make_span(*this, 0, watts_.size())); }
 
 Watts PowerTrace::max_window_average(TimeNs window) const {
-  PAS_CHECK(window > 0);
-  if (samples_.empty()) return 0.0;
-  // NVMe power states constrain the average over any window of the full
-  // length; shorter bursts are unconstrained. Slide full-length windows with
-  // two pointers; when the trace is shorter than one window, the only
-  // meaningful value is the overall mean.
-  if (samples_.back().t - samples_.front().t < window) return mean_power();
-  double best = 0.0;
-  double window_sum = 0.0;
-  std::size_t lo = 0;
-  for (std::size_t hi = 0; hi < samples_.size(); ++hi) {
-    window_sum += samples_[hi].watts;
-    while (samples_[hi].t - samples_[lo].t >= window) {
-      // [lo..hi] spans at least `window`: a complete window ending at hi.
-      const auto n = static_cast<double>(hi - lo + 1);
-      best = std::max(best, window_sum / n);
-      window_sum -= samples_[lo].watts;
-      ++lo;
+  return analyze(window).max_window_w;
+}
+
+TraceSummary PowerTrace::analyze(TimeNs window) const {
+  return analyze_range(make_span(*this, 0, watts_.size()), window);
+}
+
+TraceView PowerTrace::view() const { return TraceView(this, 0, watts_.size()); }
+
+TraceView PowerTrace::slice(TimeNs from, TimeNs to) const {
+  PAS_CHECK(from <= to);
+  const std::size_t n = watts_.size();
+  // First index with time >= x (clamped to [0, n]): O(1) arithmetic on the
+  // uniform grid, binary search on the strictly-increasing fallback.
+  const auto first_at_or_after = [&](TimeNs x) -> std::size_t {
+    if (n == 0) return 0;
+    if (!times_.empty()) {
+      return static_cast<std::size_t>(
+          std::lower_bound(times_.begin(), times_.end(), x) - times_.begin());
+    }
+    if (x <= start_t_) return 0;
+    if (period_ <= 0) return n;  // single uniform sample, at start_t_ < x
+    const TimeNs idx = (x - start_t_ + period_ - 1) / period_;  // ceil
+    return idx >= static_cast<TimeNs>(n) ? n : static_cast<std::size_t>(idx);
+  };
+  return TraceView(this, first_at_or_after(from), first_at_or_after(to));
+}
+
+void PowerTrace::accumulate_aligned(const PowerTrace& other) {
+  PAS_CHECK_MSG(other.size() == size(),
+                "per-device rig traces are misaligned; start the rigs together");
+  bool aligned = true;
+  if (is_uniform() && other.is_uniform()) {
+    aligned = empty() || (start_t_ == other.start_t_ &&
+                          (size() < 2 || period_ == other.period_));
+  } else {
+    for (std::size_t i = 0; i < size(); ++i) {
+      if (time_at(i) != other.time_at(i)) {
+        aligned = false;
+        break;
+      }
     }
   }
-  return best;
+  PAS_CHECK_MSG(aligned, "per-device rig traces are misaligned; start the rigs together");
+  const double* w = other.watts_.data();
+  for (std::size_t i = 0; i < watts_.size(); ++i) watts_[i] += w[i];
 }
 
-PowerTrace PowerTrace::slice(TimeNs from, TimeNs to) const {
-  PAS_CHECK(from <= to);
-  PowerTrace out;
-  for (const auto& s : samples_) {
-    if (s.t >= from && s.t < to) out.add(s.t, s.watts);
-  }
-  return out;
-}
-
-SampleSet PowerTrace::to_sample_set() const {
-  SampleSet set;
-  set.reserve(samples_.size());
-  for (const auto& s : samples_) set.add(s.watts);
-  return set;
-}
+SampleSet PowerTrace::to_sample_set() const { return SampleSet(watts_); }
 
 DistributionSummary PowerTrace::distribution() const { return summarize(to_sample_set()); }
+
+TimeNs TraceView::start_time() const {
+  PAS_CHECK(!empty());
+  return time_at(0);
+}
+
+TimeNs TraceView::end_time() const {
+  PAS_CHECK(!empty());
+  return time_at(size() - 1);
+}
+
+TimeNs TraceView::duration() const { return end_time() - start_time(); }
+
+Watts TraceView::mean_power() const {
+  if (empty()) return 0.0;
+  return sum_range(make_span(*trace_, begin_, end_)) / static_cast<double>(size());
+}
+
+Watts TraceView::min_power() const {
+  PAS_CHECK(!empty());
+  return min_range(make_span(*trace_, begin_, end_));
+}
+
+Watts TraceView::max_power() const {
+  PAS_CHECK(!empty());
+  return max_range(make_span(*trace_, begin_, end_));
+}
+
+Joules TraceView::energy() const {
+  return empty() ? 0.0 : energy_range(make_span(*trace_, begin_, end_));
+}
+
+Watts TraceView::max_window_average(TimeNs window) const {
+  return analyze(window).max_window_w;
+}
+
+TraceSummary TraceView::analyze(TimeNs window) const {
+  if (empty()) {
+    PAS_CHECK(window > 0);
+    TraceSummary out;
+    return out;
+  }
+  return analyze_range(make_span(*trace_, begin_, end_), window);
+}
 
 }  // namespace pas::power

@@ -101,9 +101,9 @@ TEST(MeasurementRig, IntegratingModeCapturesSubSampleBursts) {
   sim.run_until(milliseconds(100));
   rig.stop();
   // Average over [10ms, 20ms) = (9*1 + 1*101)/10 = 11 W.
-  const auto& samples = rig.trace().samples();
-  ASSERT_GE(samples.size(), 2u);
-  EXPECT_NEAR(samples[1].watts, 11.0, 0.5);
+  const PowerTrace& trace = rig.trace();
+  ASSERT_GE(trace.size(), 2u);
+  EXPECT_NEAR(trace[1].watts, 11.0, 0.5);
 }
 
 TEST(MeasurementRig, InstantaneousModeMissesSubSampleBursts) {
@@ -119,7 +119,7 @@ TEST(MeasurementRig, InstantaneousModeMissesSubSampleBursts) {
   sim.run_until(milliseconds(100));
   rig.stop();
   // Every sample lands outside the burst: the point sampler reports ~1 W.
-  for (const auto& s : rig.trace().samples()) EXPECT_LT(s.watts, 2.0);
+  for (const double w : rig.trace().watts()) EXPECT_LT(w, 2.0);
 }
 
 TEST(MeasurementRig, EnergyConservationAgainstGroundTruth) {
