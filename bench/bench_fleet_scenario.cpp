@@ -1,32 +1,53 @@
-// Closed-loop fleet scenario (paper section 4): SSD1 + SSD2 + HDD live on
-// ONE core::Testbed timeline while the facility budget steps
-// 40 W -> 25 W -> 14 W -> 40 W. Each step goes through the FleetAdapter:
-// the PowerAdaptiveController re-plans from measured power-throughput
-// options, applies power states / standby through the real admin paths, and
-// the phase's write jobs are routed and shaped by the plan. Per phase we
-// report planned vs MEASURED power (mean and the NVMe-style max 10 s-window
-// average, which must stay at or under the budget) and the throughput
-// retained relative to the unconstrained phase.
+// Closed-loop fleet scenarios (paper section 4) on the sharded fleet host.
 //
-// Exits non-zero if any phase's measured 10 s-window fleet power exceeds
-// its budget or a budget cannot be planned.
+// Two profiles:
+//
+//   --profile paper (default): SSD1 + SSD2 + HDD live on one fleet timeline
+//   while the facility budget steps 40 W -> 25 W -> 14 W -> 40 W. Each step
+//   goes through the FleetAdapter: the PowerAdaptiveController re-plans from
+//   measured power-throughput options, applies power states / standby
+//   through the real admin paths, and the phase's write jobs are routed and
+//   shaped by the plan. With the default --devices 3 --shards 1 this is
+//   byte-identical to the historical single-Testbed bench.
+//
+//   --profile diurnal: a synthetic rack — N devices (default 1000) cycling
+//   SSD1/SSD2/HDD, dealt round-robin over K shards — tracks a diurnal
+//   facility budget (overnight / morning / midday peak-shave / evening).
+//   One FleetAdapter per shard group; the coordinator divides each budget
+//   over the groups with model::split_budget and the fleet advances under
+//   the epoch barrier, never more than the 10 s cap window per epoch. Rigs
+//   run decimated (100 Hz) in streaming-sum mode, so memory is per-shard,
+//   not per-device.
+//
+// Per phase we report planned vs MEASURED power (mean and the NVMe-style
+// max 10 s-window average, which must stay at or under the budget) and the
+// throughput retained relative to the unconstrained phase. Exits non-zero
+// if any phase's measured 10 s-window fleet power exceeds its budget or a
+// budget cannot be planned.
 #include <chrono>
 #include <cstdio>
-#include <set>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
 #include "core/campaign.h"
 #include "core/runner.h"
+#include "core/sharded_testbed.h"
 #include "core/testbed.h"
 #include "iogen/engine.h"
+#include "model/fleet.h"
 #include "sim/simulator.h"
 
 namespace pas {
 namespace {
 
 constexpr TimeNs kPhaseLength = seconds(12);  // > the 10 s compliance window
+
+// The fleet's device-type cycle: global device i is kFleet[i % 3].
+constexpr devices::DeviceId kFleet[] = {devices::DeviceId::kSsd1, devices::DeviceId::kSsd2,
+                                        devices::DeviceId::kHdd};
 
 // Calibrates one (device, power state) configuration option on its own
 // throwaway cell, exactly as the section 3 campaign would. The planned power
@@ -59,75 +80,84 @@ model::ExperimentPoint idle_option(devices::DeviceId id) {
   return p;
 }
 
-}  // namespace
-}  // namespace pas
-
-int main(int argc, char** argv) {
-  using namespace pas;
-  const auto cli = core::parse_bench_cli(argc, argv);
-  ResultSink sink("fleet_scenario", cli.csv_dir);
+// Calibrates every unique device type once (the 7-cell pass is independent
+// of the fleet size: a 1 000-device rack still measures 7 cells). Returns
+// one FleetDeviceOptions per type, in kFleet order.
+std::vector<core::FleetDeviceOptions> calibrate_types(const core::ExperimentOptions& options) {
   const auto wall_start = std::chrono::steady_clock::now();
   const auto elapsed_s = [&] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
         .count();
   };
-
-  // --- Calibration: measure each device's configuration options. ---
-  const devices::DeviceId kFleet[] = {devices::DeviceId::kSsd1, devices::DeviceId::kSsd2,
-                                      devices::DeviceId::kHdd};
-  std::vector<core::FleetDeviceOptions> opts;
+  std::vector<core::FleetDeviceOptions> types;
   std::size_t done = 0;
   const std::size_t total_cells = 3 + 3 + 1;
   for (devices::DeviceId id : kFleet) {
     core::FleetDeviceOptions d;
     d.name = devices::label(id);
     if (id == devices::DeviceId::kHdd) {
-      d.options.push_back(calibrate_option(id, 0, cli.experiment));
-      ResultSink::progress_line(++done, total_cells, elapsed_s(),
+      d.options.push_back(calibrate_option(id, 0, options));
+      ++done;
+      ResultSink::progress_line(done, total_cells, elapsed_s(),
                                 static_cast<double>(done) / elapsed_s());
       d.supports_standby = true;
       d.standby_power_w = devices::hdd_exos_7e2000().p_standby_w;
     } else {
       for (int ps = 0; ps < 3; ++ps) {
-        d.options.push_back(calibrate_option(id, ps, cli.experiment));
-        ResultSink::progress_line(++done, total_cells, elapsed_s(),
+        d.options.push_back(calibrate_option(id, ps, options));
+        ++done;
+        ResultSink::progress_line(done, total_cells, elapsed_s(),
                                   static_cast<double>(done) / elapsed_s());
       }
       d.options.push_back(idle_option(id));
     }
-    opts.push_back(std::move(d));
+    types.push_back(std::move(d));
   }
+  return types;
+}
 
+void print_options_table(ResultSink& sink, const std::vector<core::FleetDeviceOptions>& types) {
   sink.banner("Calibrated fleet options (randwrite, planned W carries a guard band)");
-  {
-    Table t({"device", "ps", "workload", "planned W", "MiB/s"});
-    for (const auto& d : opts) {
-      for (const auto& o : d.options) {
-        t.add_row({d.name, Table::fmt_int(o.power_state), o.workload,
-                   Table::fmt(o.avg_power_w, 2), Table::fmt(o.throughput_mib_s, 0)});
-      }
-      if (d.supports_standby) {
-        t.add_row({d.name, "-", "standby", Table::fmt(d.standby_power_w, 2), "0"});
-      }
+  Table t({"device", "ps", "workload", "planned W", "MiB/s"});
+  for (const auto& d : types) {
+    for (const auto& o : d.options) {
+      t.add_row({d.name, Table::fmt_int(o.power_state), o.workload,
+                 Table::fmt(o.avg_power_w, 2), Table::fmt(o.throughput_mib_s, 0)});
     }
-    sink.table("options", t);
+    if (d.supports_standby) {
+      t.add_row({d.name, "-", "standby", Table::fmt(d.standby_power_w, 2), "0"});
+    }
   }
+  sink.table("options", t);
+}
 
-  // --- The live fleet: three devices on one shared timeline. ---
-  core::Testbed testbed;
-  for (std::size_t i = 0; i < std::size(kFleet); ++i) {
-    testbed.add_device(kFleet[i], cli.experiment.seed + 10 + i);
+// --- the paper's 4-phase budget-step scenario (section 4 figure) ---
+
+int run_paper(const core::BenchCli& cli, ResultSink& sink, std::size_t devices,
+              std::size_t shards) {
+  const std::vector<core::FleetDeviceOptions> types = calibrate_types(cli.experiment);
+  print_options_table(sink, types);
+
+  // The live fleet: one FleetAdapter over the whole (sharded) host, exactly
+  // the historical Testbed wiring when --devices 3 --shards 1.
+  core::ShardedTestbed host(shards, cli.jobs);
+  std::vector<core::FleetDeviceOptions> opts;
+  for (std::size_t i = 0; i < devices; ++i) {
+    host.add_device(kFleet[i % 3], cli.experiment.seed + 10 + i);
+    opts.push_back(types[i % 3]);
   }
-  core::FleetAdapter adapter(testbed, std::move(opts));
+  core::FleetAdapter adapter(host, std::move(opts));
 
   struct Phase {
     const char* name;
     Watts budget;
   };
-  const Phase phases[] = {{"normal", 40.0},
-                          {"-38% (oversubscribed)", 25.0},
-                          {"brownout", 14.0},
-                          {"restored", 40.0}};
+  // The historical 3-device budgets, scaled with the fleet (exact at N=3).
+  const double scale = static_cast<double>(devices) / 3.0;
+  const Phase phases[] = {{"normal", 40.0 * scale},
+                          {"-38% (oversubscribed)", 25.0 * scale},
+                          {"brownout", 14.0 * scale},
+                          {"restored", 40.0 * scale}};
 
   Table report({"phase", "budget W", "planned W", "measured W", "max 10s-win W", "within",
                 "fleet MiB/s", "retained"});
@@ -161,17 +191,17 @@ int main(int argc, char** argv) {
       jobs.push_back(adapter.submit(spec, /*shape_to_plan=*/true));
     }
 
-    testbed.start_rigs();
-    testbed.run_jobs();
-    testbed.stop_rigs();
-    const power::PowerTrace trace = testbed.take_fleet_trace();
+    host.start_rigs();
+    host.run_jobs();
+    host.stop_rigs();
+    const power::PowerTrace trace = host.take_fleet_trace();
     const Watts window10 = trace.max_window_average(seconds(10));
     const bool ok = window10 <= phase.budget;
     violation = violation || !ok;
 
     double fleet_mib_s = 0.0;
     for (const std::size_t j : jobs) {
-      fleet_mib_s += mib_per_sec(testbed.job_result(j).bytes, kPhaseLength);
+      fleet_mib_s += mib_per_sec(host.job_result(j).bytes, kPhaseLength);
     }
     if (phase_no == 1) baseline_mib_s = fleet_mib_s;
     report.add_row({phase.name, Table::fmt(phase.budget, 0),
@@ -181,7 +211,7 @@ int main(int argc, char** argv) {
                     baseline_mib_s > 0.0 ? Table::fmt_pct(fleet_mib_s / baseline_mib_s)
                                          : "-"});
     // Drain in-flight work before the next budget step.
-    testbed.sim().run_until(testbed.sim().now() + milliseconds(300));
+    host.advance(milliseconds(300));
   }
 
   sink.banner("Section 4 closed loop: fleet power vs stepping budget");
@@ -189,4 +219,166 @@ int main(int argc, char** argv) {
   sink.note("\n%s: measured max 10 s-window fleet power %s every budget step\n",
             violation ? "FAIL" : "PASS", violation ? "EXCEEDED" : "stayed within");
   return violation ? 1 : 0;
+}
+
+// --- the synthetic rack: a diurnal budget over N devices on K shards ---
+
+int run_diurnal(const core::BenchCli& cli, ResultSink& sink, std::size_t devices,
+                std::size_t shards) {
+  const std::vector<core::FleetDeviceOptions> types = calibrate_types(cli.experiment);
+  print_options_table(sink, types);
+
+  core::ShardedTestbed host(shards, cli.jobs);
+  host.set_trace_mode(core::TraceMode::kStreamingSum);
+  for (std::size_t i = 0; i < devices; ++i) {
+    // Per-device seed: fleet seed ^ device index (the rack's seed law).
+    host.add_device(kFleet[i % 3], cli.experiment.seed ^ static_cast<std::uint64_t>(i));
+    // Rack rigs run decimated: 100 Hz instead of 1 kHz. The 10 s-window
+    // compliance math is rate-independent, and a 1 000-rig fleet at 1 kHz
+    // would spend most of its time sampling ADCs.
+    host.device(i).rig->set_sample_period(milliseconds(10));
+  }
+
+  // One planner/adapter per shard group. The watt grid coarsens with the
+  // group (DP cost ~ devices x options x budget/resolution), so a planning
+  // round stays cheap at rack scale.
+  const std::size_t group_devs = (devices + shards - 1) / shards;
+  const Watts watt_res = group_devs > 64 ? 0.5 : 0.1;
+  std::vector<std::unique_ptr<core::FleetAdapter>> adapters;
+  for (std::size_t k = 0; k < shards; ++k) {
+    std::vector<core::FleetDeviceOptions> opts;
+    for (std::size_t i = k; i < devices; i += shards) opts.push_back(types[i % 3]);
+    adapters.push_back(
+        std::make_unique<core::FleetAdapter>(host.shard(k), std::move(opts), watt_res));
+  }
+  std::vector<Watts> floors(shards), ceils(shards);
+  Watts fleet_ceiling = 0.0;
+  for (std::size_t k = 0; k < shards; ++k) {
+    floors[k] = adapters[k]->controller().min_planned_power();
+    ceils[k] = adapters[k]->controller().max_planned_power();
+    fleet_ceiling += ceils[k];
+  }
+  sink.note("rack: %zu devices on %zu shards, 100 Hz rigs (streaming sum), "
+            "planner grid %.1f W, fleet ceiling %.0f W\n",
+            devices, shards, watt_res, fleet_ceiling);
+
+  struct Phase {
+    const char* name;
+    double fraction;  // of the fleet ceiling
+  };
+  const Phase phases[] = {{"overnight", 0.90},
+                          {"morning ramp", 0.70},
+                          {"midday peak shave", 0.45},
+                          {"evening restore", 0.85}};
+
+  Table report({"phase", "budget W", "planned W", "measured W", "max 10s-win W", "within",
+                "shed", "fleet MiB/s", "retained"});
+  bool violation = false;
+  double baseline_mib_s = 0.0;
+  int phase_no = 0;
+  for (const auto& phase : phases) {
+    ++phase_no;
+    const Watts budget = fleet_ceiling * phase.fraction;
+    const std::vector<Watts> group_budget = model::split_budget(budget, floors, ceils);
+
+    // Fan the budget out: every shard group re-plans under its slice and
+    // submits one light write stream per planned writer. An infeasible group
+    // (slice below its floor) sheds its load for the phase.
+    Watts planned = 0.0;
+    int shed = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> jobs;  // (shard, local job)
+    for (std::size_t k = 0; k < shards; ++k) {
+      const auto plan = adapters[k]->set_power_budget(group_budget[k]);
+      if (!plan.has_value()) {
+        ++shed;
+        continue;
+      }
+      planned += adapters[k]->controller().planned_power();
+      int writers = 0;
+      for (const auto& cfg : *plan) {
+        if (!cfg.standby && cfg.planned_throughput_mib_s > 0.0) ++writers;
+      }
+      // Rack utilization: one sustained stream per 4 planned writers (the
+      // adapter still spreads them round-robin over the active devices), in
+      // large lazy chunks — racks run far below per-device saturation, and
+      // this keeps the 1 000-device event rate tractable.
+      for (int w = 0; w < writers; w += 4) {
+        iogen::JobSpec spec;
+        spec.pattern = iogen::Pattern::kRandom;
+        spec.op = iogen::OpKind::kWrite;
+        spec.block_bytes = 4 * MiB;  // light rack streams, not the qd64
+        spec.iodepth = 2;            // calibration load
+        spec.io_limit_bytes = 0;
+        spec.time_limit = kPhaseLength;
+        spec.seed = cli.experiment.seed + static_cast<std::uint64_t>(phase_no) * 1000000 +
+                    static_cast<std::uint64_t>(k) * 1000 + static_cast<std::uint64_t>(w);
+        jobs.emplace_back(k, adapters[k]->submit(spec));
+      }
+    }
+    violation = violation || shed > 0;
+
+    // Advance the whole rack one phase under the epoch barrier; the
+    // coordinator regains control at least once per 10 s cap window.
+    host.start_rigs();
+    host.run_until(host.now() + kPhaseLength, seconds(10));
+    host.stop_rigs();
+    const power::PowerTrace trace = host.take_fleet_trace();
+    const Watts window10 = trace.max_window_average(seconds(10));
+    const bool ok = window10 <= budget;
+    violation = violation || !ok;
+
+    host.advance(milliseconds(300));  // drain in-flight IO off the books
+    double fleet_mib_s = 0.0;
+    for (const auto& [k, j] : jobs) {
+      fleet_mib_s += mib_per_sec(host.shard(k).job_result(j).bytes, kPhaseLength);
+    }
+    if (phase_no == 1) baseline_mib_s = fleet_mib_s;
+    report.add_row({phase.name, Table::fmt(budget, 0), Table::fmt(planned, 0),
+                    Table::fmt(trace.mean_power(), 0), Table::fmt(window10, 0),
+                    ok ? "yes" : "NO", Table::fmt_int(shed), Table::fmt(fleet_mib_s, 0),
+                    baseline_mib_s > 0.0 ? Table::fmt_pct(fleet_mib_s / baseline_mib_s)
+                                         : "-"});
+  }
+
+  sink.banner("Diurnal rack: fleet power vs the daily budget curve");
+  sink.table("diurnal", report);
+  sink.note("\n%s: measured max 10 s-window rack power %s every diurnal step\n",
+            violation ? "FAIL" : "PASS", violation ? "EXCEEDED" : "stayed within");
+  return violation ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace pas
+
+int main(int argc, char** argv) {
+  using namespace pas;
+  long devices = -1;  // default depends on the profile: paper 3, diurnal 1000
+  long shards = 1;
+  std::string profile = "paper";
+  const core::BenchFlag extra[] = {
+      {"--devices", "N", "fleet size (default: 3 paper, 1000 diurnal)",
+       [&](const char* v) { devices = std::atol(v); }},
+      {"--shards", "K", "shard count (default 1)",
+       [&](const char* v) { shards = std::atol(v); }},
+      {"--profile", "P", "paper | diurnal (default paper)",
+       [&](const char* v) { profile = v; }},
+  };
+  const auto cli = core::parse_bench_cli(argc, argv, 0.25, extra);
+  if (profile != "paper" && profile != "diurnal") {
+    std::fprintf(stderr, "%s: --profile must be 'paper' or 'diurnal'\n", argv[0]);
+    return 2;
+  }
+  if (devices < 0) devices = profile == "paper" ? 3 : 1000;
+  if (devices < 1 || shards < 1) {
+    std::fprintf(stderr, "%s: --devices and --shards must be >= 1\n", argv[0]);
+    return 2;
+  }
+
+  ResultSink sink("fleet_scenario", cli.csv_dir);
+  if (profile == "paper") {
+    return run_paper(cli, sink, static_cast<std::size_t>(devices),
+                     static_cast<std::size_t>(shards));
+  }
+  return run_diurnal(cli, sink, static_cast<std::size_t>(devices),
+                     static_cast<std::size_t>(shards));
 }

@@ -19,9 +19,53 @@
 #            predates the bench (default: "pas_power benchmark::benchmark")
 #   AB_E2E   end-to-end binary + args to wall-time in both trees (optional)
 #   AB_OUT   result JSON path (default: /tmp/bench_ab_result.json)
+#
+# Shard-sweep mode (no baseline; emits BENCH_fleet.json):
+#   scripts/bench_ab.sh fleet-sweep
+#     Wall-times `bench_fleet_scenario --profile diurnal` for the current
+#     tree over a devices x shards grid (default 64/256/1000 devices at
+#     1 and 4 shards) and writes the grid plus host info to AB_OUT
+#     (default: BENCH_fleet.json in the repo root).
+#   AB_FLEET_DEVICES  device counts       (default "64 256 1000")
+#   AB_FLEET_SHARDS   shard counts        (default "1 4")
+#   AB_FLEET_ARGS     extra bench args    (default "--quick --seed 1")
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ "${1:-}" = "fleet-sweep" ]; then
+  DEVICES="${AB_FLEET_DEVICES:-64 256 1000}"
+  SHARDS="${AB_FLEET_SHARDS:-1 4}"
+  ARGS="${AB_FLEET_ARGS:---quick --seed 1}"
+  OUT="${AB_OUT:-$REPO/BENCH_fleet.json}"
+  echo "== building bench_fleet_scenario (working tree)"
+  cmake -S "$REPO" -B "$REPO/build-ab" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$REPO/build-ab" --target bench_fleet_scenario -j "$(nproc)" >/dev/null
+  BIN="$REPO/build-ab/bench/bench_fleet_scenario"
+  ROWS=""
+  for d in $DEVICES; do
+    for k in $SHARDS; do
+      echo "== devices=$d shards=$k"
+      t0=$(date +%s%N)
+      # shellcheck disable=SC2086
+      "$BIN" --profile diurnal --devices "$d" --shards "$k" $ARGS >/dev/null
+      t1=$(date +%s%N)
+      ms=$(( (t1 - t0) / 1000000 ))
+      echo "   ${ms} ms"
+      ROWS="$ROWS{\"devices\": $d, \"shards\": $k, \"wall_ms\": $ms},"
+    done
+  done
+  {
+    echo "{"
+    echo "  \"bench\": \"bench_fleet_scenario --profile diurnal $ARGS\","
+    echo "  \"host_cpus\": $(nproc),"
+    echo "  \"note\": \"single-core host: shard workers time-slice one CPU, so any speedup here is event-queue cache locality (K small per-shard queues instead of one giant interleaved one), not parallelism; a K-core host adds up to K-way on top\","
+    echo "  \"sweep\": [${ROWS%,}]"
+    echo "}"
+  } > "$OUT"
+  echo "wrote $OUT"
+  exit 0
+fi
 BASE_REF="${1:?usage: scripts/bench_ab.sh <baseline-ref> [bench-name] [rounds]}"
 BENCH="${2:-bench_micro_trace}"
 ROUNDS="${3:-3}"

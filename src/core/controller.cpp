@@ -7,7 +7,8 @@
 namespace pas::core {
 namespace {
 
-model::FleetPlanner build_planner(const std::vector<ManagedDevice>& fleet) {
+model::FleetPlanner build_planner(const std::vector<ManagedDevice>& fleet,
+                                  Watts watt_resolution) {
   std::vector<model::FleetDevice> devices;
   devices.reserve(fleet.size());
   for (const auto& d : fleet) {
@@ -19,13 +20,21 @@ model::FleetPlanner build_planner(const std::vector<ManagedDevice>& fleet) {
     if (d.supports_standby) fd.options.push_back(model::standby_option(d.standby_power_w));
     devices.push_back(std::move(fd));
   }
+  if (watt_resolution > 0.0) {
+    return model::FleetPlanner(std::move(devices), watt_resolution);
+  }
   return model::FleetPlanner(std::move(devices));
 }
 
 }  // namespace
 
-PowerAdaptiveController::PowerAdaptiveController(std::vector<ManagedDevice> fleet)
-    : fleet_(std::move(fleet)), planner_(build_planner(fleet_)) {}
+PowerAdaptiveController::PowerAdaptiveController(std::vector<ManagedDevice> fleet,
+                                                 Watts watt_resolution)
+    : fleet_(std::move(fleet)), planner_(build_planner(fleet_, watt_resolution)) {}
+
+Watts PowerAdaptiveController::min_planned_power() const { return planner_.min_total_power(); }
+
+Watts PowerAdaptiveController::max_planned_power() const { return planner_.max_total_power(); }
 
 std::optional<std::vector<AppliedConfig>> PowerAdaptiveController::set_power_budget(
     Watts budget_w) {

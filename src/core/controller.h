@@ -47,7 +47,12 @@ struct AppliedConfig {
 
 class PowerAdaptiveController {
  public:
-  explicit PowerAdaptiveController(std::vector<ManagedDevice> fleet);
+  // `watt_resolution` sets the fleet DP's watt-grid step (0 = the planner
+  // default, 0.1 W). Rack-scale callers coarsen it: the DP is
+  // O(devices x options x budget/resolution), so a 1 000-device shard group
+  // at 0.5 W costs the same as 200 devices at 0.1 W.
+  explicit PowerAdaptiveController(std::vector<ManagedDevice> fleet,
+                                   Watts watt_resolution = 0.0);
 
   // Plans and applies a fleet configuration for the budget. Returns the
   // per-device plan, or nullopt when the budget is below the floor (even
@@ -57,6 +62,11 @@ class PowerAdaptiveController {
   // Planned aggregate power/throughput of the active configuration.
   Watts planned_power() const { return planned_power_; }
   double planned_throughput() const { return planned_throughput_; }
+  // Achievable fleet-power bounds (every device at its cheapest / dearest
+  // option) — the floor and ceiling a rack coordinator feeds to
+  // model::split_budget when dividing a budget across shard groups.
+  Watts min_planned_power() const;
+  Watts max_planned_power() const;
   // Live ground-truth draw of the fleet right now.
   Watts measured_power() const;
 

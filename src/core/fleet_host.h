@@ -1,0 +1,106 @@
+// The fleet-host interface (DESIGN.md section 11): the contract between the
+// section 4 control plane (FleetAdapter / PowerAdaptiveController, the fleet
+// benches) and whatever hosts the live devices. Two implementations:
+//
+//   * core::Testbed          — one simulator timeline, N devices (the
+//                              one-shard special case; DESIGN section 3.2)
+//   * core::ShardedTestbed   — K per-shard simulators advancing in parallel
+//                              under an epoch barrier (rack scale)
+//
+// Devices are addressed by a stable global index in add_device order, jobs
+// by a global index in add_job order, regardless of which shard hosts them —
+// so a scenario written against FleetHost is byte-identical between a
+// Testbed and a one-shard ShardedTestbed, and deterministic (independent of
+// worker-thread count and scheduling) on any shard count.
+//
+// The time model: every host exposes ONE fleet clock. For the Testbed it is
+// simply its simulator's clock; for the sharded host it is the common epoch
+// time all shard clocks are re-synchronized to at each barrier. Methods that
+// read or advance the clock (now/advance/run_jobs/run_epoch/start_rigs/
+// stop_rigs) may only be called between epochs, when the shard clocks agree.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/units.h"
+#include "devices/specs.h"
+#include "iogen/job.h"
+#include "power/trace.h"
+
+namespace pas::core {
+
+// How measured power is retained between take_fleet_trace() calls.
+enum class TraceMode {
+  // Every rig keeps its full trace; take_fleet_trace() merges them
+  // device-major (accumulate_aligned). Memory: devices x samples.
+  kFullTraces,
+  // Rigs stream each sample into ONE per-shard fleet-sum trace at sample
+  // time (no per-device retention); take_fleet_trace() merges the K shard
+  // sums. Memory: shards x samples — at 1 000 devices on 8 shards, 125x
+  // less. The sum order matches the full-trace merge (device-major within
+  // the shard), so both modes yield bit-identical fleet traces.
+  kStreamingSum,
+};
+
+class FleetHost {
+ public:
+  // Consulted by the routed add_job overload; maps a job to a global device
+  // index. Defaults to round-robin; the FleetAdapter installs the
+  // controller's redirection policy here.
+  using Router = std::function<std::size_t(const iogen::JobSpec&, std::size_t job_index)>;
+
+  virtual ~FleetHost() = default;
+
+  // --- fleet construction ---
+  virtual std::size_t add_device(devices::DeviceId id, std::uint64_t seed) = 0;
+  virtual std::size_t device_count() const = 0;
+  virtual devices::DeviceBundle& device(std::size_t i) = 0;
+  virtual const devices::DeviceBundle& device(std::size_t i) const = 0;
+  // Maps a routing decision (a BlockDevice*) back to its global device
+  // index; aborts if the pointer is not hosted here.
+  virtual std::size_t index_of(const sim::BlockDevice* dev) const = 0;
+  virtual void set_router(Router router) = 0;
+  // Must be selected before start_rigs(); defaults to kFullTraces.
+  virtual void set_trace_mode(TraceMode mode) = 0;
+
+  // --- jobs ---
+  virtual std::size_t add_job(const iogen::JobSpec& spec, std::size_t device_index) = 0;
+  virtual std::size_t add_job(const iogen::JobSpec& spec) = 0;
+  virtual std::size_t job_count() const = 0;
+  virtual std::size_t job_device(std::size_t job) const = 0;
+  virtual const iogen::JobResult& job_result(std::size_t job) const = 0;
+
+  // --- the epoch clock ---
+  // Starts every not-yet-started job and advances the fleet until ALL jobs
+  // have finished, then re-synchronizes the fleet clock (sharded hosts: each
+  // shard drives its own jobs in parallel, then every shard runs forward to
+  // the latest shard's finish time so the clocks agree again).
+  virtual void run_jobs() = 0;
+  // Epoch-bounded variant: starts pending jobs and advances the whole fleet
+  // to exactly `until` (an absolute fleet time — the coordinator's next
+  // controller decision point), finished or not. Returns true when every
+  // started job has finished. The clock lands on `until` on every shard.
+  virtual bool run_epoch(TimeNs until) = 0;
+  // Advances the idle fleet by `dt` (drain between budget steps).
+  virtual void advance(TimeNs dt) = 0;
+  virtual TimeNs now() const = 0;
+
+  // --- measurement ---
+  virtual void start_rigs() = 0;
+  virtual void stop_rigs() = 0;
+  // Ground-truth fleet draw right now (sum over devices in global order).
+  virtual Watts measured_power() const = 0;
+  // The fleet's measured power trace for the samples accumulated since the
+  // last take (the pointwise sum over every device), and resets the
+  // accumulation — phase-boundary semantics. Requires stopped rigs.
+  virtual power::PowerTrace take_fleet_trace() = 0;
+
+  // take_fleet_trace() reduced to the cap-compliance summary (the merged
+  // trace is freed on return — the coordinator's per-epoch path).
+  power::TraceSummary take_fleet_summary(TimeNs window) {
+    return take_fleet_trace().analyze(window);
+  }
+};
+
+}  // namespace pas::core

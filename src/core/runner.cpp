@@ -106,6 +106,11 @@ std::vector<ExperimentOutput> CampaignRunner::run(const std::vector<CellSpec>& c
 }
 
 BenchCli parse_bench_cli(int argc, char** argv, double default_scale) {
+  return parse_bench_cli(argc, argv, default_scale, {});
+}
+
+BenchCli parse_bench_cli(int argc, char** argv, double default_scale,
+                         std::span<const BenchFlag> extra) {
   BenchCli cli;
   cli.experiment.io_limit_scale = default_scale;
   auto value_of = [&](int& i, const char* flag) -> const char* {
@@ -151,18 +156,41 @@ BenchCli parse_bench_cli(int argc, char** argv, double default_scale) {
       }
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       std::printf(
-          "usage: %s [--full | --quick | --scale F] [--jobs N] [--csv-dir DIR] [--seed S]\n"
+          "usage: %s [--full | --quick | --scale F] [--jobs N] [--csv-dir DIR] [--seed S]%s\n"
           "  --full      paper-exact 4 GiB / 60 s cells\n"
           "  --quick     256 MiB smoke cells\n"
           "  --scale F   explicit io-limit scale (default %.4g)\n"
           "  --jobs N    worker threads (default: hardware concurrency; env PAS_JOBS)\n"
           "  --csv-dir D mirror tables as CSV/JSON under D\n"
           "  --seed S    base seed for per-cell derived seeds\n",
-          argv[0], default_scale);
+          argv[0], extra.empty() ? "" : " [bench options]", default_scale);
+      for (const BenchFlag& f : extra) {
+        if (f.value_name != nullptr) {
+          std::printf("  %s %s  %s\n", f.name, f.value_name, f.help ? f.help : "");
+        } else {
+          std::printf("  %s  %s\n", f.name, f.help ? f.help : "");
+        }
+      }
       std::exit(0);
     } else {
-      std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0], argv[i]);
-      std::exit(2);
+      bool matched = false;
+      for (const BenchFlag& f : extra) {
+        if (f.value_name != nullptr) {
+          if (const char* v = value_of(i, f.name)) {
+            f.apply(v);
+            matched = true;
+            break;
+          }
+        } else if (std::strcmp(argv[i], f.name) == 0) {
+          f.apply("");
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0], argv[i]);
+        std::exit(2);
+      }
     }
   }
   return cli;

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,21 @@ struct BenchCli {
 };
 
 BenchCli parse_bench_cli(int argc, char** argv, double default_scale = 0.25);
+
+// A bench-specific flag recognized on top of the shared set: `--name V` or
+// `--name=V` when value_name is non-null, a bare boolean switch otherwise
+// (apply receives "" then). `help` is the one-line description for --help.
+struct BenchFlag {
+  const char* name = nullptr;        // e.g. "--devices"
+  const char* value_name = nullptr;  // e.g. "N"; nullptr = boolean switch
+  const char* help = nullptr;
+  std::function<void(const char*)> apply;
+};
+
+// parse_bench_cli with bench-specific extensions (e.g. bench_fleet_scenario's
+// --devices/--shards/--profile). Unknown options still exit 2.
+BenchCli parse_bench_cli(int argc, char** argv, double default_scale,
+                         std::span<const BenchFlag> extra);
 
 // RunnerOptions for a bench: the CLI's jobs/experiment plus a stderr
 // progress line ("[12/108] 3.4s, 3.5 cells/s").

@@ -9,6 +9,10 @@ namespace pas::core {
 std::size_t Testbed::add_device(devices::DeviceId id, std::uint64_t seed) {
   devices_.push_back(
       std::make_unique<devices::DeviceBundle>(devices::make_device(sim_, id, seed)));
+  if (trace_mode_ == TraceMode::kStreamingSum) {
+    devices_.back()->rig->set_sample_sink(
+        [this](TimeNs t, Watts w) { sum_sample(t, w); });
+  }
   return devices_.size() - 1;
 }
 
@@ -18,6 +22,22 @@ std::size_t Testbed::index_of(const sim::BlockDevice* dev) const {
   }
   PAS_CHECK_MSG(false, "device is not part of this testbed");
   return 0;
+}
+
+void Testbed::set_trace_mode(TraceMode mode) {
+  if (mode == trace_mode_) return;
+  PAS_CHECK_MSG(fleet_sum_.empty() && pending_count_ == 0,
+                "switch trace modes at a phase boundary (after take_fleet_trace)");
+  for (auto& d : devices_) {
+    PAS_CHECK_MSG(!d->rig->running() && d->rig->trace().empty(),
+                  "switch trace modes while the rigs are stopped and empty");
+    if (mode == TraceMode::kStreamingSum) {
+      d->rig->set_sample_sink([this](TimeNs t, Watts w) { sum_sample(t, w); });
+    } else {
+      d->rig->set_sample_sink(nullptr);
+    }
+  }
+  trace_mode_ = mode;
 }
 
 std::size_t Testbed::add_job(const iogen::JobSpec& spec, std::size_t device_index) {
@@ -44,7 +64,7 @@ const iogen::JobResult& Testbed::job_result(std::size_t job) const {
   return jobs_[job].engine->result();
 }
 
-void Testbed::run_jobs() {
+std::vector<iogen::IoEngine*> Testbed::start_pending_jobs() {
   std::vector<iogen::IoEngine*> engines;
   engines.reserve(jobs_.size());
   for (Job& job : jobs_) {
@@ -55,7 +75,23 @@ void Testbed::run_jobs() {
     }
     engines.push_back(job.engine.get());
   }
+  return engines;
+}
+
+void Testbed::run_jobs() {
+  const std::vector<iogen::IoEngine*> engines = start_pending_jobs();
   iogen::drive(sim_, engines);
+}
+
+bool Testbed::run_epoch(TimeNs until) {
+  PAS_CHECK(until >= sim_.now());
+  const std::vector<iogen::IoEngine*> engines = start_pending_jobs();
+  return iogen::drive_until(sim_, engines, until);
+}
+
+void Testbed::advance(TimeNs dt) {
+  PAS_CHECK(dt >= 0);
+  sim_.run_until(sim_.now() + dt);
 }
 
 void Testbed::start_rigs() {
@@ -73,13 +109,17 @@ Watts Testbed::measured_power() const {
 }
 
 power::PowerTrace Testbed::fleet_trace() const {
+  PAS_CHECK(!devices_.empty());
+  if (trace_mode_ == TraceMode::kStreamingSum) {
+    PAS_CHECK_MSG(pending_count_ == 0, "stop the rigs before reading the fleet trace");
+    return fleet_sum_;
+  }
   // Device-major accumulation: one copy of the first device's trace, then
   // one contiguous add-loop per remaining device. Alignment (same sample
   // count and timestamps) is validated once per device by
   // accumulate_aligned — O(1) between two uniform-grid traces — instead of
   // per sample. The per-sample sum order (device 0 + 1 + 2 + ...) matches
   // the old sample-major loop, so the fleet trace is bit-identical.
-  PAS_CHECK(!devices_.empty());
   power::PowerTrace fleet = devices_[0]->rig->trace();
   for (std::size_t d = 1; d < devices_.size(); ++d) {
     fleet.accumulate_aligned(devices_[d]->rig->trace());
@@ -88,10 +128,19 @@ power::PowerTrace Testbed::fleet_trace() const {
 }
 
 power::PowerTrace Testbed::take_fleet_trace() {
-  // Same device-major sum, but each rig's trace is moved out (take_trace)
-  // and consumed in turn — no intermediate fleet copy and the rigs end up
-  // reset for the next phase.
   PAS_CHECK(!devices_.empty());
+  if (trace_mode_ == TraceMode::kStreamingSum) {
+    PAS_CHECK_MSG(pending_count_ == 0, "stop the rigs before taking the fleet trace");
+    power::PowerTrace out = std::move(fleet_sum_);
+    fleet_sum_ = power::PowerTrace{};
+    return out;
+  }
+  // Same device-major sum as fleet_trace(), but each rig's trace is moved
+  // out (take_trace) and consumed in turn — no intermediate fleet copy.
+  // take_trace() leaves every rig holding a fresh empty trace, so the
+  // testbed stays fully reusable: rigs restart cleanly for the next phase,
+  // and taking again before any new sample lands yields an empty trace
+  // rather than stale or moved-from state.
   power::PowerTrace fleet = devices_[0]->rig->take_trace();
   for (std::size_t d = 1; d < devices_.size(); ++d) {
     fleet.accumulate_aligned(devices_[d]->rig->take_trace());
@@ -99,27 +148,44 @@ power::PowerTrace Testbed::take_fleet_trace() {
   return fleet;
 }
 
-FleetAdapter::FleetAdapter(Testbed& testbed, std::vector<FleetDeviceOptions> options)
-    : testbed_(testbed),
-      controller_([&] {
-        PAS_CHECK_MSG(options.size() == testbed.device_count(),
-                      "one FleetDeviceOptions entry per testbed device");
-        std::vector<ManagedDevice> fleet;
-        fleet.reserve(options.size());
-        for (std::size_t i = 0; i < options.size(); ++i) {
-          devices::DeviceBundle& b = testbed.device(i);
-          ManagedDevice d;
-          d.name = std::move(options[i].name);
-          d.device = b.device.get();
-          d.pm = b.pm;
-          d.options = std::move(options[i].options);
-          d.supports_standby = options[i].supports_standby;
-          d.standby_power_w = options[i].standby_power_w;
-          fleet.push_back(std::move(d));
-        }
-        return PowerAdaptiveController(std::move(fleet));
-      }()) {
-  testbed_.set_router(
+void Testbed::sum_sample(TimeNs t, Watts w) {
+  if (pending_count_ == 0) {
+    pending_t_ = t;
+    pending_w_ = w;
+  } else {
+    PAS_CHECK_MSG(t == pending_t_,
+                  "per-device rig samples are misaligned; start the rigs together");
+    pending_w_ += w;
+  }
+  if (++pending_count_ == devices_.size()) {
+    fleet_sum_.add(pending_t_, pending_w_);
+    pending_count_ = 0;
+  }
+}
+
+FleetAdapter::FleetAdapter(FleetHost& host, std::vector<FleetDeviceOptions> options,
+                           Watts watt_resolution)
+    : host_(host),
+      controller_(
+          [&] {
+            PAS_CHECK_MSG(options.size() == host.device_count(),
+                          "one FleetDeviceOptions entry per host device");
+            std::vector<ManagedDevice> fleet;
+            fleet.reserve(options.size());
+            for (std::size_t i = 0; i < options.size(); ++i) {
+              devices::DeviceBundle& b = host.device(i);
+              ManagedDevice d;
+              d.name = std::move(options[i].name);
+              d.device = b.device.get();
+              d.pm = b.pm;
+              d.options = std::move(options[i].options);
+              d.supports_standby = options[i].supports_standby;
+              d.standby_power_w = options[i].standby_power_w;
+              fleet.push_back(std::move(d));
+            }
+            return PowerAdaptiveController(std::move(fleet), watt_resolution);
+          }()) {
+  host_.set_router(
       [this](const iogen::JobSpec& spec, std::size_t) { return route(spec); });
 }
 
@@ -138,18 +204,18 @@ std::size_t FleetAdapter::route(const iogen::JobSpec& spec) {
   sim::BlockDevice* target =
       spec.op == iogen::OpKind::kWrite ? controller_.route_write() : controller_.route_read();
   PAS_CHECK_MSG(target != nullptr, "no active device to route the job to");
-  return testbed_.index_of(target);
+  return host_.index_of(target);
 }
 
 std::size_t FleetAdapter::submit(iogen::JobSpec spec, bool shape_to_plan) {
   const std::size_t index = route(spec);
   if (shape_to_plan) {
-    // Plan entries are in fleet order == testbed device order.
+    // Plan entries are in fleet order == host device order.
     const AppliedConfig& cfg = controller_.current_plan()[index];
     if (cfg.chunk_bytes != 0) spec.block_bytes = cfg.chunk_bytes;
     if (cfg.queue_depth > 0) spec.iodepth = cfg.queue_depth;
   }
-  return testbed_.add_job(spec, index);
+  return host_.add_job(spec, index);
 }
 
 }  // namespace pas::core

@@ -1,13 +1,16 @@
 // The testbed (DESIGN.md section 3.2): N devices and M iogen jobs hosted on
 // ONE simulator timeline — the layer between "a cell" (one device, one job,
 // one fresh simulator) and the paper's section 4 fleet scenarios (many live
-// devices sharing a wall clock while budgets step).
+// devices sharing a wall clock while budgets step). It is the one-shard
+// special case of the FleetHost contract (fleet_host.h); ShardedTestbed
+// composes K of these for rack scale.
 //
 // Ownership: the Testbed owns the simulator, and one devices::DeviceBundle
 // per device (device model + NVMe/ALPM admin handles + measurement rig, all
 // built by devices::make_device). Jobs are owned too; their IoEngines are
-// constructed lazily by run_jobs() so engine construction order — and hence
-// RNG-free event order — matches the historical single-device wiring.
+// constructed lazily by run_jobs()/run_epoch() so engine construction order
+// — and hence RNG-free event order — matches the historical single-device
+// wiring.
 //
 // Determinism contract: everything on the timeline is a pure function of
 // (device seeds, job specs, admin-call sequence). Timestamp ties fire FIFO
@@ -18,13 +21,13 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/controller.h"
+#include "core/fleet_host.h"
 #include "devices/specs.h"
 #include "iogen/engine.h"
 #include "iogen/job.h"
@@ -33,7 +36,7 @@
 
 namespace pas::core {
 
-class Testbed {
+class Testbed final : public FleetHost {
  public:
   Testbed() = default;
   Testbed(const Testbed&) = delete;
@@ -44,50 +47,59 @@ class Testbed {
 
   // Constructs the device (with admin handles and a configured-but-stopped
   // rig) on the shared timeline. Returns its device index.
-  std::size_t add_device(devices::DeviceId id, std::uint64_t seed);
+  std::size_t add_device(devices::DeviceId id, std::uint64_t seed) override;
 
-  std::size_t device_count() const { return devices_.size(); }
-  devices::DeviceBundle& device(std::size_t i) { return *devices_[i]; }
-  const devices::DeviceBundle& device(std::size_t i) const { return *devices_[i]; }
-  // Maps a routing decision (a BlockDevice*) back to its device index;
-  // aborts if the pointer is not one of this testbed's devices.
-  std::size_t index_of(const sim::BlockDevice* dev) const;
+  std::size_t device_count() const override { return devices_.size(); }
+  devices::DeviceBundle& device(std::size_t i) override { return *devices_[i]; }
+  const devices::DeviceBundle& device(std::size_t i) const override { return *devices_[i]; }
+  std::size_t index_of(const sim::BlockDevice* dev) const override;
 
-  // --- job -> device routing hook ---
-  // Consulted by the routed add_job overload. Defaults to round-robin over
-  // the devices; the FleetAdapter installs the controller's redirection
-  // policy here so live jobs follow section 4's IO-redirection rules.
-  using Router = std::function<std::size_t(const iogen::JobSpec&, std::size_t job_index)>;
-  void set_router(Router router) { router_ = std::move(router); }
+  void set_router(Router router) override { router_ = std::move(router); }
+
+  // Selects how measured power is retained (fleet_host.h). kStreamingSum
+  // taps every rig into one fleet-sum trace via its sample sink; switch only
+  // while the rigs are stopped with no samples retained.
+  void set_trace_mode(TraceMode mode) override;
 
   // Queues a job for the given device (or routed through the Router).
   // Returns the job index. The job's IoEngine is created on the next
-  // run_jobs() call.
-  std::size_t add_job(const iogen::JobSpec& spec, std::size_t device_index);
-  std::size_t add_job(const iogen::JobSpec& spec);
+  // run_jobs()/run_epoch() call.
+  std::size_t add_job(const iogen::JobSpec& spec, std::size_t device_index) override;
+  std::size_t add_job(const iogen::JobSpec& spec) override;
 
-  std::size_t job_count() const { return jobs_.size(); }
-  std::size_t job_device(std::size_t job) const { return jobs_[job].device; }
-  // Valid once the job has been started by run_jobs().
-  const iogen::JobResult& job_result(std::size_t job) const;
+  std::size_t job_count() const override { return jobs_.size(); }
+  std::size_t job_device(std::size_t job) const override { return jobs_[job].device; }
+  // Valid once the job has been started by run_jobs()/run_epoch().
+  const iogen::JobResult& job_result(std::size_t job) const override;
 
   // Starts every not-yet-started job (engine construction + start, in job
   // order) and advances the shared timeline until ALL jobs have finished,
   // through iogen::drive — the repo's single drive-loop implementation.
   // Callable repeatedly: phased scenarios add jobs, run, add more, run.
-  void run_jobs();
+  void run_jobs() override;
+  // Epoch-bounded variant: starts pending jobs, then advances to exactly
+  // `until` via iogen::drive_until. Returns true when every job finished.
+  bool run_epoch(TimeNs until) override;
+  // Advances the (possibly idle) timeline by dt; the clock lands exactly on
+  // now() + dt.
+  void advance(TimeNs dt) override;
+  TimeNs now() const override { return sim_.now(); }
 
   // --- measurement ---
-  void start_rigs();
-  void stop_rigs();
+  void start_rigs() override;
+  void stop_rigs() override;
   // Ground-truth fleet draw right now (sum over devices).
-  Watts measured_power() const;
+  Watts measured_power() const override;
   // The fleet's measured power trace: the pointwise sum of the per-device
   // rig traces. Requires all rigs started together (one shared 1 kHz clock),
   // so samples align; aborts on mismatched traces.
   power::PowerTrace fleet_trace() const;
-  // fleet_trace(), then resets every device's rig trace (phase boundary).
-  power::PowerTrace take_fleet_trace();
+  // fleet_trace(), then resets the accumulation (phase boundary). The
+  // testbed remains fully usable afterwards: every rig is left with a valid
+  // empty trace (and the fleet-sum accumulator re-armed, in kStreamingSum),
+  // so a phased scenario can restart the rigs, run the next phase, and take
+  // again. A second take with no intervening samples yields an empty trace.
+  power::PowerTrace take_fleet_trace() override;
 
  private:
   struct Job {
@@ -96,16 +108,31 @@ class Testbed {
     std::unique_ptr<iogen::IoEngine> engine;  // null until run_jobs() starts it
   };
 
+  // Engine construction + start for every pending job, in job order; returns
+  // all engines (the drive set).
+  std::vector<iogen::IoEngine*> start_pending_jobs();
+  // kStreamingSum sink target: one call per rig per tick, in device order
+  // (rigs started together tick in start order at equal timestamps), so the
+  // running sum accumulates device 0 + 1 + 2 + ... — the same left-to-right
+  // order accumulate_aligned uses, keeping both modes bit-identical.
+  void sum_sample(TimeNs t, Watts w);
+
   sim::Simulator sim_;
   std::vector<std::unique_ptr<devices::DeviceBundle>> devices_;
   std::vector<Job> jobs_;
   Router router_;
   std::size_t round_robin_ = 0;
+
+  TraceMode trace_mode_ = TraceMode::kFullTraces;
+  power::PowerTrace fleet_sum_;   // kStreamingSum: the one retained trace
+  TimeNs pending_t_ = 0;          // tick being summed across the fleet
+  Watts pending_w_ = 0.0;
+  std::size_t pending_count_ = 0;
 };
 
 // Per-device planning inputs for a live fleet: the measured configuration
 // options (typically a Pareto frontier from the section 3 campaign) plus
-// standby capability, in testbed device order.
+// standby capability, in host device order.
 struct FleetDeviceOptions {
   std::string name;
   std::vector<model::ExperimentPoint> options;
@@ -113,15 +140,19 @@ struct FleetDeviceOptions {
   Watts standby_power_w = 0.0;
 };
 
-// Live-fleet adapter: binds a PowerAdaptiveController to a Testbed's
+// Live-fleet adapter: binds a PowerAdaptiveController to a FleetHost's
 // devices, closing the section 4 loop — budget steps reach the real
 // NVMe/SATA admin paths of the live devices, and the IO-redirection /
-// write-segregation policy routes the testbed's live jobs (the adapter
-// installs itself as the testbed's Router).
+// write-segregation policy routes the host's live jobs (the adapter
+// installs itself as the host's Router). Works identically over a Testbed
+// or one shard group of a ShardedTestbed.
 class FleetAdapter {
  public:
-  // `options[i]` describes testbed device i; sizes must match.
-  FleetAdapter(Testbed& testbed, std::vector<FleetDeviceOptions> options);
+  // `options[i]` describes host device i; sizes must match.
+  // `watt_resolution` coarsens the planner's DP grid for large fleets
+  // (0 = the planner's default, 0.1 W).
+  FleetAdapter(FleetHost& host, std::vector<FleetDeviceOptions> options,
+               Watts watt_resolution = 0.0);
 
   PowerAdaptiveController& controller() { return controller_; }
   const PowerAdaptiveController& controller() const { return controller_; }
@@ -134,7 +165,7 @@ class FleetAdapter {
   std::optional<std::vector<AppliedConfig>> set_power_budget(Watts budget_w);
 
   // Routes a live job by the redirection policy (writes -> route_write,
-  // reads -> route_read) and queues it on the testbed. When shape_to_plan,
+  // reads -> route_read) and queues it on the host. When shape_to_plan,
   // the job's chunk size and queue depth are first overridden by the current
   // plan's IO-shaping advice for the routed device. Returns the job index.
   std::size_t submit(iogen::JobSpec spec, bool shape_to_plan = false);
@@ -142,7 +173,7 @@ class FleetAdapter {
  private:
   std::size_t route(const iogen::JobSpec& spec);
 
-  Testbed& testbed_;
+  FleetHost& host_;
   PowerAdaptiveController controller_;
 };
 

@@ -113,6 +113,14 @@ void drive(sim::Simulator& sim, std::span<IoEngine* const> engines) {
   PAS_CHECK_MSG(all_finished(), "simulation drained before the job finished");
 }
 
+bool drive_until(sim::Simulator& sim, std::span<IoEngine* const> engines, TimeNs until) {
+  sim.run_until(until);
+  for (IoEngine* e : engines) {
+    if (!e->finished()) return false;
+  }
+  return true;
+}
+
 JobResult run_job(sim::Simulator& sim, sim::BlockDevice& device, const JobSpec& spec) {
   IoEngine engine(sim, device, spec);
   engine.start(nullptr);

@@ -61,6 +61,13 @@ class IoEngine {
 // paths. Aborts if the event queue drains first (a stuck job).
 void drive(sim::Simulator& sim, std::span<IoEngine* const> engines);
 
+// Epoch-bounded variant for barrier-stepped fleets: advances `sim` to
+// exactly `until` (events at or before `until` fire, then the clock lands on
+// `until`), whether or not the jobs have finished. Returns true once every
+// engine reports finished(). Unlike drive(), a drained event queue is not an
+// error here — an all-idle shard simply coasts to the epoch boundary.
+bool drive_until(sim::Simulator& sim, std::span<IoEngine* const> engines, TimeNs until);
+
 // Convenience: run one job to completion on a fresh simulator timeline,
 // returning the result. The simulator is advanced until the job finishes.
 JobResult run_job(sim::Simulator& sim, sim::BlockDevice& device, const JobSpec& spec);

@@ -15,6 +15,62 @@ ExperimentPoint standby_option(Watts standby_power_w) {
   return p;
 }
 
+std::vector<Watts> split_budget(Watts budget_w, const std::vector<Watts>& floor_w,
+                                const std::vector<Watts>& ceiling_w) {
+  PAS_CHECK(!floor_w.empty());
+  PAS_CHECK(floor_w.size() == ceiling_w.size());
+  PAS_CHECK(budget_w >= 0.0);
+  const std::size_t n = floor_w.size();
+  Watts floors = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    PAS_CHECK(floor_w[i] >= 0.0 && ceiling_w[i] >= floor_w[i]);
+    floors += floor_w[i];
+  }
+
+  std::vector<Watts> out(n, 0.0);
+  if (budget_w < floors) {
+    // Brownout: squeeze the deficit out proportionally to the floors. Group
+    // budgets land below their floors, so each group planner will report
+    // infeasible and its shard sheds load — the same signal a single fleet
+    // planner gives when the whole budget is below the fleet floor.
+    const double scale = floors > 0.0 ? budget_w / floors : 0.0;
+    for (std::size_t i = 0; i < n; ++i) out[i] = floor_w[i] * scale;
+    return out;
+  }
+
+  // Everyone gets their floor; the spare is dealt proportionally to
+  // headroom. A group whose proportional share exceeds its ceiling is capped
+  // there and the overflow re-dealt among the still-uncapped groups (at most
+  // n rounds; each round caps at least one group or distributes everything).
+  for (std::size_t i = 0; i < n; ++i) out[i] = floor_w[i];
+  Watts spare = budget_w - floors;
+  std::vector<char> capped(n, 0);
+  for (std::size_t round = 0; round < n && spare > 1e-12; ++round) {
+    Watts headroom = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!capped[i]) headroom += ceiling_w[i] - out[i];
+    }
+    if (headroom <= 0.0) break;  // fleet-wide ceiling reached
+    const Watts dealt = std::min(spare, headroom);
+    bool newly_capped = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (capped[i]) continue;
+      const Watts share = dealt * (ceiling_w[i] - out[i]) / headroom;
+      if (out[i] + share >= ceiling_w[i] - 1e-12) {
+        spare -= ceiling_w[i] - out[i];
+        out[i] = ceiling_w[i];
+        capped[i] = 1;
+        newly_capped = true;
+      } else {
+        out[i] += share;
+        spare -= share;
+      }
+    }
+    if (!newly_capped) break;  // proportional deal fit everywhere: done
+  }
+  return out;
+}
+
 FleetPlanner::FleetPlanner(std::vector<FleetDevice> devices, double watt_resolution)
     : devices_(std::move(devices)), resolution_(watt_resolution) {
   PAS_CHECK(!devices_.empty());

@@ -38,6 +38,19 @@ struct FleetAssignment {
 // throughput) that lets the planner park devices under tight budgets.
 ExperimentPoint standby_option(Watts standby_power_w);
 
+// Divides a rack budget across shard groups for the sharded fleet host: one
+// (floor, ceiling) pair per group — its planner's min/max achievable power.
+// Each group gets its floor, and the spare above the summed floors is dealt
+// proportionally to headroom (ceiling - floor), capped at the ceiling with
+// the overflow re-dealt; when the budget cannot cover the floors the deficit
+// is squeezed out proportionally to the floors instead (group budgets then
+// fall below the floor, and the group planner reports infeasible — the
+// caller sheds load, matching the single-planner contract). The split is a
+// pure function of its arguments and sums to min(budget, sum of ceilings),
+// up to float rounding.
+std::vector<Watts> split_budget(Watts budget_w, const std::vector<Watts>& floor_w,
+                                const std::vector<Watts>& ceiling_w);
+
 class FleetPlanner {
  public:
   explicit FleetPlanner(std::vector<FleetDevice> devices, double watt_resolution = 0.1);

@@ -62,6 +62,37 @@ PowerTrace MeasurementRig::take_trace() {
   return out;
 }
 
+void MeasurementRig::set_sample_sink(SampleSink sink) {
+  PAS_CHECK_MSG(!started_, "configure the sink while the rig is stopped");
+  sink_ = std::move(sink);
+}
+
+void MeasurementRig::set_sample_period(TimeNs period) {
+  PAS_CHECK(period > 0);
+  PAS_CHECK_MSG(!started_ && trace_.empty() && (stats_ == nullptr || stats_->count() == 0),
+                "re-time the ADC before any sample is taken");
+  config_.sample_period = period;
+  task_.set_period(period);
+}
+
+void MeasurementRig::enable_streaming(TimeNs window) {
+  PAS_CHECK_MSG(!started_, "enable streaming while the rig is stopped");
+  PAS_CHECK_MSG(trace_.empty(), "streaming cannot start mid-trace");
+  stats_ = std::make_unique<StreamingTraceStats>(window);
+}
+
+const StreamingTraceStats& MeasurementRig::streaming_stats() const {
+  PAS_CHECK_MSG(stats_ != nullptr, "rig is not in streaming_only mode");
+  return *stats_;
+}
+
+TraceSummary MeasurementRig::take_streaming_summary() {
+  PAS_CHECK_MSG(stats_ != nullptr, "rig is not in streaming_only mode");
+  TraceSummary out = stats_->summary();
+  stats_->reset();
+  return out;
+}
+
 Watts MeasurementRig::measure_once(Watts true_power) {
   PAS_CHECK(true_power >= 0.0);
   // Forward path: power -> rail current -> shunt differential voltage ->
@@ -95,7 +126,15 @@ void MeasurementRig::sample() {
   } else {
     true_power = device_.instantaneous_power();
   }
-  trace_.add(now, measure_once(true_power));
+  const Watts measured = measure_once(true_power);
+  // Retention: the trace is the default; a sink and/or streaming stats
+  // replace it (rack-scale modes — no per-device trace is kept).
+  if (sink_) sink_(now, measured);
+  if (stats_ != nullptr) {
+    stats_->add(now, measured);
+  } else if (!sink_) {
+    trace_.add(now, measured);
+  }
 }
 
 }  // namespace pas::power

@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "power/streaming.h"
 #include "power/trace.h"
 #include "sim/block_device.h"
 #include "sim/simulator.h"
@@ -56,9 +57,34 @@ class MeasurementRig {
 
   void start();
   void stop();
+  bool running() const { return started_; }
 
   const PowerTrace& trace() const { return trace_; }
   PowerTrace take_trace();
+
+  // --- rack-scale retention modes ---
+  // By default every measured sample is appended to trace(). Either mode
+  // below replaces that unbounded retention; both must be configured while
+  // the rig is stopped and are mutually composable (sink + streaming).
+  //
+  // Sample sink: each measured sample is handed to `sink` instead of being
+  // retained here. The sharded testbed taps every rig of a shard into one
+  // per-shard fleet-sum accumulator this way, so a rack of rigs holds no
+  // per-device traces at all. Pass nullptr to restore trace retention.
+  using SampleSink = std::function<void(TimeNs, Watts)>;
+  void set_sample_sink(SampleSink sink);
+  // Re-times the ADC tick (rack scenarios decimate 1 kHz -> 100 Hz to keep a
+  // 1 000-rig fleet tractable; the window-average math is rate-independent).
+  // Only while stopped and before any sample has been taken.
+  void set_sample_period(TimeNs period);
+  // streaming_only mode: O(window)-memory running statistics replace the
+  // trace. streaming_stats().summary() is bit-identical to
+  // trace().analyze(window) over the same samples (asserted in tests).
+  void enable_streaming(TimeNs window);
+  bool streaming_only() const { return stats_ != nullptr; }
+  const StreamingTraceStats& streaming_stats() const;
+  // Current summary, then forgets the samples seen so far (phase boundary).
+  TraceSummary take_streaming_summary();
 
   const RigConfig& config() const { return config_; }
 
@@ -74,6 +100,8 @@ class MeasurementRig {
   RigConfig config_;
   Rng rng_;
   PowerTrace trace_;
+  SampleSink sink_;                            // null: retain samples locally
+  std::unique_ptr<StreamingTraceStats> stats_; // null: full-trace retention
   sim::PeriodicTask task_;
 
   // Actual (imperfect) chain constants, drawn once at construction.

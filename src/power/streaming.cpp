@@ -1,0 +1,64 @@
+#include "power/streaming.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pas::power {
+
+StreamingTraceStats::StreamingTraceStats(TimeNs window) : window_(window) {
+  PAS_CHECK(window_ > 0);
+}
+
+void StreamingTraceStats::add(TimeNs t, Watts w) {
+  // Same accumulator updates, same order, as analyze_range's fused loop
+  // (trace.cpp): min/max seeded from the first sample, the sum including it.
+  if (n_ == 0) {
+    first_t_ = t;
+    min_w_ = w;
+    max_w_ = w;
+  } else {
+    PAS_CHECK_MSG(t > last_t_, "streaming samples must be strictly increasing in time");
+    min_w_ = std::min(min_w_, w);
+    max_w_ = std::max(max_w_, w);
+  }
+  last_t_ = t;
+  ++n_;
+  sum_w_ += w;
+
+  // analyze_range only commits a window average once [lo..hi] spans a full
+  // window, so accumulating from the very first sample matches it whether or
+  // not the trace ends up longer than one window.
+  window_sum_ += w;
+  ring_.push_back(PowerSample{t, w});
+  while (t - ring_.front().t >= window_) {
+    const auto cnt = static_cast<double>(ring_.size());
+    best_window_ = std::max(best_window_, window_sum_ / cnt);
+    window_sum_ -= ring_.front().watts;
+    ring_.pop_front();
+  }
+}
+
+TraceSummary StreamingTraceStats::summary() const {
+  TraceSummary out;
+  out.count = n_;
+  if (n_ == 0) return out;
+  out.min_w = min_w_;
+  out.max_w = max_w_;
+  out.mean_w = sum_w_ / static_cast<double>(n_);
+  // Like the batch pass: a trace shorter than one window has no complete
+  // window, and the only meaningful value is the overall mean.
+  const bool windowed = last_t_ - first_t_ >= window_;
+  out.max_window_w = windowed ? best_window_ : out.mean_w;
+  return out;
+}
+
+void StreamingTraceStats::reset() {
+  n_ = 0;
+  first_t_ = last_t_ = 0;
+  min_w_ = max_w_ = sum_w_ = 0.0;
+  window_sum_ = best_window_ = 0.0;
+  ring_.clear();
+}
+
+}  // namespace pas::power

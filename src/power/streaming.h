@@ -1,0 +1,67 @@
+// Streaming (O(window)-memory) trace analytics for rack-scale fleets.
+//
+// A MeasurementRig normally accumulates its full 1 kHz trace; at 1 000 rigs
+// times long diurnal runs that is the scaling wall (ROADMAP "Streaming
+// telemetry"). StreamingTraceStats ingests samples one at a time and keeps
+// exactly the TraceSummary quantities the batch PowerTrace::analyze() pass
+// computes — running min/max/mean plus the rolling max window-average the
+// NVMe cap constrains — while retaining only the samples inside the current
+// window (a ring of window/period samples, e.g. 10 s at 1 kHz = 10 000
+// samples ~ 160 KB, instead of the unbounded trace).
+//
+// Bit-identity contract: fed the same (t, w) sequence a trace holds,
+// summary() equals PowerTrace::analyze(window) field for field, EXACTLY —
+// the accumulators are updated with the same operations in the same
+// left-to-right order as trace.cpp's fused analyze_range. The batch
+// analyze() is the special case "stream the whole trace, then summarize";
+// tests assert the equality bit for bit.
+//
+// Representation note: the rolling quantity is a window *average* (what an
+// NVMe power state caps), so the window must keep its member samples for the
+// running sum — a monotonic deque would suffice only for a rolling max of
+// raw samples. The global max_w needs no window at all (running max).
+#pragma once
+
+#include <deque>
+
+#include "common/units.h"
+#include "power/trace.h"
+
+namespace pas::power {
+
+class StreamingTraceStats {
+ public:
+  // `window` is the sliding-window length for max_window_w (the 10 s NVMe
+  // cap window in every current use). Must be positive.
+  explicit StreamingTraceStats(TimeNs window);
+
+  // Ingests one sample. Timestamps must be strictly increasing, like
+  // PowerTrace::add.
+  void add(TimeNs t, Watts w);
+
+  std::size_t count() const { return n_; }
+  TimeNs window() const { return window_; }
+
+  // The summary so far; bit-identical to PowerTrace::analyze(window()) over
+  // the same samples.
+  TraceSummary summary() const;
+
+  // Forgets everything (phase boundary); the window length is kept.
+  void reset();
+
+ private:
+  TimeNs window_;
+  std::size_t n_ = 0;
+  TimeNs first_t_ = 0;
+  TimeNs last_t_ = 0;
+  double min_w_ = 0.0;
+  double max_w_ = 0.0;
+  double sum_w_ = 0.0;
+  // Sliding-window state: the samples of the current window [lo..latest] and
+  // their running sum, advanced exactly like analyze_range's two pointers.
+  double window_sum_ = 0.0;
+  double best_window_ = 0.0;
+  std::deque<PowerSample> ring_;
+};
+
+}  // namespace pas::power

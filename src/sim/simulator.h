@@ -396,6 +396,12 @@ class PeriodicTask {
   void start();
   void stop();
   bool running() const { return !stopped_; }
+  // Re-times the task; only while stopped (the pending tick would be stale).
+  void set_period(TimeNs period) {
+    PAS_CHECK_MSG(stopped_, "set_period on a running task");
+    PAS_CHECK(period > 0);
+    period_ = period;
+  }
 
  private:
   // The rearm closure is this pointer-sized struct, not a fresh lambda over

@@ -203,6 +203,40 @@ TEST(Testbed, SingleDeviceRunIsReproducible) {
   EXPECT_EQ(a.second, b.second);
 }
 
+// Regression: take_fleet_trace() must leave the testbed in a valid,
+// reusable state (every rig holds a fresh empty trace after the move), so a
+// phased scenario can take, run another phase, and take again — and a
+// second take with no intervening samples yields an empty trace instead of
+// tripping over moved-from rigs.
+TEST(Testbed, TakeFleetTraceLeavesReusableStateAndDoubleTakeIsEmpty) {
+  Testbed testbed;
+  const std::size_t d = testbed.add_device(devices::DeviceId::kSsd2, 11);
+  testbed.add_device(devices::DeviceId::kSsd1, 12);
+  iogen::JobSpec spec = small_randwrite(256 * 1024, 8);
+  spec.io_limit_bytes = 8 * MiB;
+
+  testbed.add_job(spec, d);
+  testbed.start_rigs();
+  testbed.run_jobs();
+  testbed.stop_rigs();
+  const power::PowerTrace first = testbed.take_fleet_trace();
+  EXPECT_GT(first.size(), 0u);
+
+  // Double take, no new samples: empty, not an abort or stale data.
+  const power::PowerTrace empty_again = testbed.take_fleet_trace();
+  EXPECT_EQ(empty_again.size(), 0u);
+
+  // Phase two on the same testbed: rigs restart cleanly and the next take
+  // sees only the new phase's samples (it starts after phase one ended).
+  testbed.add_job(spec, d);
+  testbed.start_rigs();
+  testbed.run_jobs();
+  testbed.stop_rigs();
+  const power::PowerTrace second = testbed.take_fleet_trace();
+  ASSERT_GT(second.size(), 0u);
+  EXPECT_GT(second.start_time(), first.end_time());
+}
+
 model::ExperimentPoint fleet_option(int ps, double watts, double mib_s) {
   model::ExperimentPoint p;
   p.power_state = ps;

@@ -138,5 +138,55 @@ TEST(FleetPlanner, SixteenDeviceServerScales) {
   EXPECT_GT(a->total_throughput_mib_s, 16 * 3000.0 * 0.4);
 }
 
+TEST(SplitBudget, FloorsPlusProportionalHeadroom) {
+  // Floors 2+3, ceilings 10+5: budget 11 leaves 6 spare over headroom 8+2.
+  const auto split = split_budget(11.0, {2.0, 3.0}, {10.0, 5.0});
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_DOUBLE_EQ(split[0], 2.0 + 6.0 * 0.8);
+  EXPECT_DOUBLE_EQ(split[1], 3.0 + 6.0 * 0.2);
+  EXPECT_DOUBLE_EQ(split[0] + split[1], 11.0);
+}
+
+TEST(SplitBudget, HeadroomProportionalShareNeverOvershootsACeiling) {
+  // Group 1 is nearly at its ceiling (1 W headroom vs group 0's 18 W): the
+  // spare is dealt proportionally to headroom, so it draws a small share
+  // instead of overshooting its 4 W cap.
+  const auto split = split_budget(12.0, {2.0, 3.0}, {20.0, 4.0});
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_DOUBLE_EQ(split[0], 2.0 + 7.0 * 18.0 / 19.0);
+  EXPECT_DOUBLE_EQ(split[1], 3.0 + 7.0 * 1.0 / 19.0);
+  EXPECT_LE(split[1], 4.0);
+  EXPECT_NEAR(split[0] + split[1], 12.0, 1e-9);
+}
+
+TEST(SplitBudget, AbundantBudgetStopsAtTheCeilings) {
+  const auto split = split_budget(100.0, {2.0, 3.0}, {10.0, 5.0});
+  EXPECT_DOUBLE_EQ(split[0], 10.0);
+  EXPECT_DOUBLE_EQ(split[1], 5.0);
+}
+
+TEST(SplitBudget, BrownoutSqueezesProportionallyBelowFloors) {
+  // Budget below the summed floors: every group lands below its floor (its
+  // planner will report infeasible), scaled by its share of the floors.
+  const auto split = split_budget(2.5, {2.0, 3.0}, {10.0, 5.0});
+  EXPECT_DOUBLE_EQ(split[0], 2.5 * 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(split[1], 2.5 * 3.0 / 5.0);
+  EXPECT_LT(split[0], 2.0);
+  EXPECT_LT(split[1], 3.0);
+}
+
+TEST(SplitBudget, ExactFloorsAndDegenerateCases) {
+  // Budget == floors: everyone gets exactly their floor.
+  const auto exact = split_budget(5.0, {2.0, 3.0}, {10.0, 5.0});
+  EXPECT_DOUBLE_EQ(exact[0], 2.0);
+  EXPECT_DOUBLE_EQ(exact[1], 3.0);
+  // One group, zero-width headroom elsewhere.
+  const auto one = split_budget(7.0, {1.0}, {4.0});
+  EXPECT_DOUBLE_EQ(one[0], 4.0);
+  const auto fixed = split_budget(9.0, {2.0, 3.0}, {2.0, 8.0});
+  EXPECT_DOUBLE_EQ(fixed[0], 2.0);  // floor == ceiling: pinned
+  EXPECT_DOUBLE_EQ(fixed[1], 7.0);
+}
+
 }  // namespace
 }  // namespace pas::model

@@ -1,0 +1,136 @@
+// StreamingTraceStats' contract: O(window)-memory running statistics whose
+// summary() is BIT-identical to retaining the full trace and calling
+// analyze(window) over the same samples — the guarantee that lets rack-scale
+// fleets drop per-device trace retention without changing any reported
+// number.
+#include "power/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/units.h"
+#include "fake_device.h"
+#include "power/rig.h"
+#include "power/trace.h"
+#include "sim/simulator.h"
+
+namespace pas::power {
+namespace {
+
+using testing::FakePowerDevice;
+
+// Deterministic wavy power signal: exercises min/max updates, window
+// evictions and non-trivial running sums.
+Watts wavy(std::size_t i) {
+  return 5.0 + 3.0 * std::sin(static_cast<double>(i) * 0.37) +
+         0.001 * static_cast<double>(i % 97);
+}
+
+void expect_summary_bits(const TraceSummary& a, const TraceSummary& b) {
+  // Exact double comparison on purpose: bit-identity is the contract.
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.min_w, b.min_w);
+  EXPECT_EQ(a.max_w, b.max_w);
+  EXPECT_EQ(a.mean_w, b.mean_w);
+  EXPECT_EQ(a.max_window_w, b.max_window_w);
+}
+
+TEST(StreamingTraceStats, SummaryMatchesAnalyzeBitExactly) {
+  const TimeNs window = seconds(10);
+  const TimeNs period = milliseconds(1);
+  StreamingTraceStats stats(window);
+  PowerTrace trace;
+  for (std::size_t i = 0; i < 30000; ++i) {  // 30 s at 1 kHz: 3 full windows
+    const TimeNs t = static_cast<TimeNs>(i + 1) * period;
+    const Watts w = wavy(i);
+    stats.add(t, w);
+    trace.add(t, w);
+  }
+  EXPECT_EQ(stats.count(), trace.size());
+  expect_summary_bits(stats.summary(), trace.analyze(window));
+}
+
+TEST(StreamingTraceStats, ShortRunFallsBackToMeanLikeAnalyze) {
+  // Fewer samples than the window: analyze() reports the overall mean as the
+  // windowed maximum; the streaming side must do exactly the same.
+  const TimeNs window = seconds(10);
+  StreamingTraceStats stats(window);
+  PowerTrace trace;
+  for (std::size_t i = 0; i < 500; ++i) {
+    const TimeNs t = static_cast<TimeNs>(i + 1) * milliseconds(1);
+    const Watts w = wavy(i);
+    stats.add(t, w);
+    trace.add(t, w);
+  }
+  expect_summary_bits(stats.summary(), trace.analyze(window));
+}
+
+TEST(StreamingTraceStats, ResetForgetsEverything) {
+  StreamingTraceStats stats(seconds(1));
+  stats.add(milliseconds(1), 4.0);
+  stats.add(milliseconds(2), 6.0);
+  stats.reset();
+  EXPECT_EQ(stats.count(), 0u);
+  stats.add(milliseconds(1), 2.0);
+  const TraceSummary s = stats.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean_w, 2.0);
+}
+
+// The rig's streaming_only mode: same simulator, same device, same noise
+// seed — one rig retains the full trace, the other streams. The streaming
+// summary must match the full trace's analyze() bit for bit.
+TEST(MeasurementRigStreaming, StreamingOnlyModeMatchesFullTrace) {
+  const TimeNs window = seconds(10);
+  auto run = [&](bool streaming) {
+    sim::Simulator sim;
+    FakePowerDevice dev(sim, 4.0);
+    MeasurementRig rig(sim, dev, RigConfig{}, 42);
+    if (streaming) rig.enable_streaming(window);
+    rig.start();
+    // Vary the load so the trace is not flat.
+    for (int s = 1; s <= 12; ++s) {
+      sim.schedule_at(seconds(s), [&dev, s] { dev.set_power(2.0 + (s % 5)); });
+    }
+    sim.run_until(seconds(14));
+    rig.stop();
+    return streaming ? rig.take_streaming_summary() : rig.trace().analyze(window);
+  };
+  const TraceSummary full = run(false);
+  const TraceSummary stream = run(true);
+  ASSERT_EQ(full.count, 14000u);
+  expect_summary_bits(stream, full);
+}
+
+TEST(MeasurementRigStreaming, StreamingRigRetainsNoTrace) {
+  sim::Simulator sim;
+  FakePowerDevice dev(sim, 4.0);
+  MeasurementRig rig(sim, dev, RigConfig{}, 7);
+  rig.enable_streaming(seconds(10));
+  EXPECT_TRUE(rig.streaming_only());
+  rig.start();
+  sim.run_until(seconds(1));
+  rig.stop();
+  EXPECT_EQ(rig.trace().size(), 0u);  // nothing retained
+  EXPECT_EQ(rig.streaming_stats().count(), 1000u);
+  // take_streaming_summary resets for the next phase.
+  const TraceSummary s = rig.take_streaming_summary();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(rig.streaming_stats().count(), 0u);
+}
+
+TEST(MeasurementRigStreaming, DecimatedRigSamplesAtTheNewRate) {
+  sim::Simulator sim;
+  FakePowerDevice dev(sim, 4.0);
+  MeasurementRig rig(sim, dev, RigConfig{}, 7);
+  rig.set_sample_period(milliseconds(10));  // 1 kHz -> 100 Hz
+  rig.start();
+  sim.run_until(seconds(2));
+  rig.stop();
+  EXPECT_EQ(rig.trace().size(), 200u);
+}
+
+}  // namespace
+}  // namespace pas::power
