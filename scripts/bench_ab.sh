@@ -29,6 +29,16 @@
 #   AB_FLEET_DEVICES  device counts       (default "64 256 1000")
 #   AB_FLEET_SHARDS   shard counts        (default "1 4")
 #   AB_FLEET_ARGS     extra bench args    (default "--quick --seed 1")
+#
+# SLO-sweep mode (no baseline; emits BENCH_workload.json):
+#   scripts/bench_ab.sh slo-sweep
+#     Runs `bench_fleet_scenario` for both profiles (paper budget steps and
+#     the diurnal rack) with the open-loop tenant epilogues, re-runs the
+#     paper profile at a different worker count to PROVE the per-tenant
+#     tables are deterministic, and writes the per-phase per-tenant SLO
+#     rows (violation rate vs power budget) to AB_OUT
+#     (default: BENCH_workload.json in the repo root).
+#   AB_SLO_ARGS  extra bench args (default "--quick --seed 1")
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
@@ -66,6 +76,55 @@ if [ "${1:-}" = "fleet-sweep" ]; then
   echo "wrote $OUT"
   exit 0
 fi
+if [ "${1:-}" = "slo-sweep" ]; then
+  ARGS="${AB_SLO_ARGS:---quick --seed 1}"
+  OUT="${AB_OUT:-$REPO/BENCH_workload.json}"
+  WORK="$(mktemp -d /tmp/pas-slo.XXXXXX)"
+  trap 'rm -rf "$WORK"' EXIT
+  echo "== building bench_fleet_scenario (working tree)"
+  cmake -S "$REPO" -B "$REPO/build-ab" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$REPO/build-ab" --target bench_fleet_scenario -j "$(nproc)" >/dev/null
+  BIN="$REPO/build-ab/bench/bench_fleet_scenario"
+  echo "== paper profile (3 devices, 1 shard)"
+  # shellcheck disable=SC2086
+  "$BIN" $ARGS --jobs 2 --csv-dir "$WORK/paper" >/dev/null
+  echo "== paper profile again at --jobs 1 (determinism check)"
+  # shellcheck disable=SC2086
+  "$BIN" $ARGS --jobs 1 --csv-dir "$WORK/paper_j1" >/dev/null
+  cmp "$WORK/paper/fleet_scenario_slo.csv" "$WORK/paper_j1/fleet_scenario_slo.csv"
+  echo "   per-tenant table identical across worker counts"
+  echo "== diurnal profile (12 devices, 3 shards)"
+  # shellcheck disable=SC2086
+  "$BIN" $ARGS --profile diurnal --devices 12 --shards 3 --jobs 2 \
+      --csv-dir "$WORK/diurnal" >/dev/null
+  python3 - "$WORK" "$OUT" "$ARGS" <<'PY'
+import json, sys
+work, out, args = sys.argv[1], sys.argv[2], sys.argv[3]
+
+def rows(path):
+    with open(path) as f:
+        return [{"phase": r["phase"], "budget_w": float(r["budget W"]),
+                 "tenant": r["tenant"], "ios": int(r["ios"]),
+                 "mib_s": float(r["MiB/s"]), "slo_ios": int(r["slo ios"]),
+                 "violations": int(r["violations"]),
+                 "viol_rate": float(r["viol rate"]), "avg_ms": float(r["avg ms"])}
+                for r in json.load(f)]
+
+result = {
+    "bench": f"bench_fleet_scenario {args}",
+    "slo": "frontend tenant: 2 ms per-IO latency target on open-loop reads",
+    "deterministic": "paper-profile table byte-identical at --jobs 1 and --jobs 2",
+    "paper": rows(f"{work}/paper/fleet_scenario_slo.json"),
+    "diurnal": rows(f"{work}/diurnal/fleet_scenario_slo_diurnal.json"),
+}
+with open(out, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+PY
+  exit 0
+fi
+
 BASE_REF="${1:?usage: scripts/bench_ab.sh <baseline-ref> [bench-name] [rounds]}"
 BENCH="${2:-bench_micro_trace}"
 ROUNDS="${3:-3}"

@@ -83,6 +83,13 @@ ExperimentOutput run_cell(devices::DeviceId id, int power_state, const iogen::Jo
   out.point.chunk_bytes = job.block_bytes;
   out.point.queue_depth = job.iodepth;
   out.point.workload = std::string(iogen::to_string(job.pattern)) + iogen::to_string(job.op);
+  // Layered cells get distinguishing suffixes; the paper's closed-loop basic
+  // cells keep their historical workload strings (CSV stability).
+  if (job.pattern_kind == iogen::PatternKind::kTraceReplay) out.point.workload += "-replay";
+  if (job.pattern_kind == iogen::PatternKind::kKeyspace) out.point.workload += "-keyspace";
+  if (job.arrival.kind != iogen::ArrivalKind::kClosedLoop) {
+    out.point.workload += std::string("-") + iogen::to_string(job.arrival.kind);
+  }
   out.point.avg_power_w = summary.mean_w;
   out.point.throughput_mib_s = result.throughput_mib_s();
   out.point.avg_latency_us = result.avg_latency_us();

@@ -44,6 +44,27 @@ std::uint64_t derive_cell_seed(std::uint64_t base_seed, const CellSpec& spec) {
   h = mix(h, spec.job.region_bytes);
   h = mix(h, spec.job.io_limit_bytes);
   h = mix(h, static_cast<std::uint64_t>(spec.job.time_limit));
+  // Workload-layer fields are absorbed only when they differ from their
+  // defaults, so every pre-existing cell keeps its historical seed (the
+  // fig/table baselines are byte-identical) while layered cells still get
+  // distinct streams per arrival/pattern/tenant configuration.
+  if (spec.job.arrival.kind != iogen::ArrivalKind::kClosedLoop) {
+    h = mix(h, static_cast<std::uint64_t>(spec.job.arrival.kind));
+    h = mix(h, std::bit_cast<std::uint64_t>(spec.job.arrival.rate_iops));
+    h = mix(h, static_cast<std::uint64_t>(spec.job.arrival.on_period));
+    h = mix(h, static_cast<std::uint64_t>(spec.job.arrival.off_period));
+    h = mix(h, static_cast<std::uint64_t>(spec.job.arrival.period));
+    h = mix(h, std::bit_cast<std::uint64_t>(spec.job.arrival.trough_fraction));
+  }
+  if (spec.job.pattern_kind != iogen::PatternKind::kBasic) {
+    h = mix(h, static_cast<std::uint64_t>(spec.job.pattern_kind));
+    h = mix(h, spec.job.key_count);
+    h = mix(h, static_cast<std::uint64_t>(spec.job.rmw_pct));
+  }
+  if (spec.job.tenant != 0) h = mix(h, static_cast<std::uint64_t>(spec.job.tenant));
+  if (spec.job.slo_latency != 0) {
+    h = mix(h, static_cast<std::uint64_t>(spec.job.slo_latency));
+  }
   h = mix_str(h, spec.tag);
   return h != 0 ? h : 1;
 }

@@ -1,0 +1,49 @@
+#include "core/fleet_host.h"
+
+#include <algorithm>
+
+namespace pas::core {
+
+namespace {
+
+// Insertion point for `tenant` in a sorted summary vector; creates the entry
+// if absent. Returns a stable reference into `into`.
+TenantSummary& summary_for(std::vector<TenantSummary>& into, int tenant) {
+  auto it = std::lower_bound(
+      into.begin(), into.end(), tenant,
+      [](const TenantSummary& s, int t) { return s.tenant < t; });
+  if (it == into.end() || it->tenant != tenant) {
+    TenantSummary fresh;
+    fresh.tenant = tenant;
+    it = into.insert(it, std::move(fresh));
+  }
+  return *it;
+}
+
+}  // namespace
+
+void accumulate_tenant_job(std::vector<TenantSummary>& into, const iogen::JobSpec& spec,
+                           const iogen::JobResult& result) {
+  TenantSummary& s = summary_for(into, spec.tenant);
+  s.jobs += 1;
+  s.ios += result.ios;
+  s.bytes += result.bytes;
+  s.slo_ios += result.slo_ios;
+  s.slo_violations += result.slo_violations;
+  s.latency.merge(result.latency);
+}
+
+void merge_tenant_summaries(std::vector<TenantSummary>& into,
+                            const std::vector<TenantSummary>& from) {
+  for (const TenantSummary& f : from) {
+    TenantSummary& s = summary_for(into, f.tenant);
+    s.jobs += f.jobs;
+    s.ios += f.ios;
+    s.bytes += f.bytes;
+    s.slo_ios += f.slo_ios;
+    s.slo_violations += f.slo_violations;
+    s.latency.merge(f.latency);
+  }
+}
+
+}  // namespace pas::core

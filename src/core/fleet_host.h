@@ -22,13 +22,49 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
+#include "common/histogram.h"
 #include "common/units.h"
 #include "devices/specs.h"
 #include "iogen/job.h"
 #include "power/trace.h"
 
 namespace pas::core {
+
+// Per-tenant aggregation across every STARTED job of the fleet: completion
+// counts, bytes, the merged latency distribution, and SLO accounting (jobs
+// with slo_latency > 0 contribute their completions to slo_ios and the
+// too-slow subset to slo_violations). Cumulative since the jobs started —
+// phase deltas are the caller's subtraction. Hosts return summaries sorted
+// by tenant id, merged in deterministic (job, then shard) order, so the
+// result is byte-identical across worker counts and, for the counts, across
+// shard layouts.
+struct TenantSummary {
+  int tenant = 0;
+  std::size_t jobs = 0;
+  std::uint64_t ios = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t slo_ios = 0;
+  std::uint64_t slo_violations = 0;
+  LatencyHistogram latency;
+
+  double violation_rate() const {
+    return slo_ios > 0 ? static_cast<double>(slo_violations) / static_cast<double>(slo_ios)
+                       : 0.0;
+  }
+};
+
+// Merges `from` into `into` (both sorted by tenant id; result stays sorted).
+// Counts are additive and histograms merge bucket-wise, so merging is
+// order-independent for the integers and fixed shard order keeps even the
+// derived floats identical.
+void merge_tenant_summaries(std::vector<TenantSummary>& into,
+                            const std::vector<TenantSummary>& from);
+
+// Accumulates one started job's spec + result into the (sorted) summary set.
+void accumulate_tenant_job(std::vector<TenantSummary>& into, const iogen::JobSpec& spec,
+                           const iogen::JobResult& result);
 
 // How measured power is retained between take_fleet_trace() calls.
 enum class TraceMode {
@@ -69,7 +105,14 @@ class FleetHost {
   virtual std::size_t add_job(const iogen::JobSpec& spec) = 0;
   virtual std::size_t job_count() const = 0;
   virtual std::size_t job_device(std::size_t job) const = 0;
+  virtual const iogen::JobSpec& job_spec(std::size_t job) const = 0;
   virtual const iogen::JobResult& job_result(std::size_t job) const = 0;
+
+  // Per-tenant aggregation over every started job the host knows about —
+  // including shard-local jobs submitted through a per-shard FleetAdapter,
+  // which do not appear in the global job table. Sorted by tenant id; see
+  // TenantSummary for the determinism contract.
+  virtual std::vector<TenantSummary> tenant_summaries() const = 0;
 
   // --- the epoch clock ---
   // Starts every not-yet-started job and advances the fleet until ALL jobs

@@ -216,19 +216,39 @@ int report_failures(const CampaignRunner& runner) {
 
 Table points_table(const std::vector<CellSpec>& cells,
                    const std::vector<ExperimentOutput>& outputs) {
-  Table t({"device", "power_state", "pattern", "op", "chunk_bytes", "queue_depth", "avg_power_w",
-           "throughput_mib_s", "avg_latency_us", "p99_latency_us", "min_power_w", "max_power_w",
-           "max_window10s_w"});
+  // SLO columns appear only when some cell carries an SLO target, so the
+  // historical fig/table CSVs (no SLOs anywhere) stay byte-identical.
+  bool any_slo = false;
+  for (const CellSpec& c : cells) any_slo = any_slo || c.job.slo_latency > 0;
+  std::vector<std::string> columns = {
+      "device", "power_state", "pattern", "op", "chunk_bytes", "queue_depth", "avg_power_w",
+      "throughput_mib_s", "avg_latency_us", "p99_latency_us", "min_power_w", "max_power_w",
+      "max_window10s_w"};
+  if (any_slo) {
+    columns.push_back("tenant");
+    columns.push_back("slo_ios");
+    columns.push_back("slo_violations");
+    columns.push_back("slo_violation_rate");
+  }
+  Table t(std::move(columns));
   for (std::size_t i = 0; i < cells.size() && i < outputs.size(); ++i) {
     const auto& c = cells[i];
     const auto& o = outputs[i];
-    t.add_row({devices::label(c.device), Table::fmt_int(c.power_state),
-               iogen::to_string(c.job.pattern), iogen::to_string(c.job.op),
-               Table::fmt_int(c.job.block_bytes), Table::fmt_int(c.job.iodepth),
-               Table::fmt(o.point.avg_power_w, 4), Table::fmt(o.point.throughput_mib_s, 3),
-               Table::fmt(o.point.avg_latency_us, 3), Table::fmt(o.point.p99_latency_us, 3),
-               Table::fmt(o.min_power_w, 4), Table::fmt(o.max_power_w, 4),
-               Table::fmt(o.max_window10s_w, 4)});
+    std::vector<std::string> row = {
+        devices::label(c.device), Table::fmt_int(c.power_state),
+        iogen::to_string(c.job.pattern), iogen::to_string(c.job.op),
+        Table::fmt_int(c.job.block_bytes), Table::fmt_int(c.job.iodepth),
+        Table::fmt(o.point.avg_power_w, 4), Table::fmt(o.point.throughput_mib_s, 3),
+        Table::fmt(o.point.avg_latency_us, 3), Table::fmt(o.point.p99_latency_us, 3),
+        Table::fmt(o.min_power_w, 4), Table::fmt(o.max_power_w, 4),
+        Table::fmt(o.max_window10s_w, 4)};
+    if (any_slo) {
+      row.push_back(Table::fmt_int(c.job.tenant));
+      row.push_back(Table::fmt_int(static_cast<long long>(o.job.slo_ios)));
+      row.push_back(Table::fmt_int(static_cast<long long>(o.job.slo_violations)));
+      row.push_back(Table::fmt(o.job.slo_violation_rate(), 6));
+    }
+    t.add_row(std::move(row));
   }
   return t;
 }

@@ -86,9 +86,26 @@ std::size_t ShardedTestbed::add_job(const iogen::JobSpec& spec) {
   return add_job(spec, index);
 }
 
+const iogen::JobSpec& ShardedTestbed::job_spec(std::size_t job) const {
+  PAS_CHECK(job < jobs_.size());
+  return shards_[jobs_[job].shard]->job_spec(jobs_[job].local);
+}
+
 const iogen::JobResult& ShardedTestbed::job_result(std::size_t job) const {
   PAS_CHECK(job < jobs_.size());
   return shards_[jobs_[job].shard]->job_result(jobs_[job].local);
+}
+
+std::vector<TenantSummary> ShardedTestbed::tenant_summaries() const {
+  // Coordinator-side merge in shard order: each shard's summary covers every
+  // job that shard hosts (global jobs AND shard-local adapter submissions),
+  // and the merge order is fixed, so the result is independent of the worker
+  // count and byte-identical run-to-run.
+  std::vector<TenantSummary> out;
+  for (const auto& shard : shards_) {
+    merge_tenant_summaries(out, shard->tenant_summaries());
+  }
+  return out;
 }
 
 void ShardedTestbed::run_jobs() {

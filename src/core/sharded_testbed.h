@@ -75,7 +75,12 @@ class ShardedTestbed final : public FleetHost {
   std::size_t add_job(const iogen::JobSpec& spec) override;
   std::size_t job_count() const override { return jobs_.size(); }
   std::size_t job_device(std::size_t job) const override { return jobs_[job].device; }
+  const iogen::JobSpec& job_spec(std::size_t job) const override;
   const iogen::JobResult& job_result(std::size_t job) const override;
+
+  // Merged per-shard summaries in shard order; includes shard-local jobs
+  // submitted through per-shard adapters (fleet_host.h contract).
+  std::vector<TenantSummary> tenant_summaries() const override;
 
   void run_jobs() override;
   bool run_epoch(TimeNs until) override;

@@ -58,10 +58,24 @@ std::size_t Testbed::add_job(const iogen::JobSpec& spec) {
   return add_job(spec, index);
 }
 
+const iogen::JobSpec& Testbed::job_spec(std::size_t job) const {
+  PAS_CHECK(job < jobs_.size());
+  return jobs_[job].spec;
+}
+
 const iogen::JobResult& Testbed::job_result(std::size_t job) const {
   PAS_CHECK(job < jobs_.size());
   PAS_CHECK_MSG(jobs_[job].engine != nullptr, "job has not been started yet");
   return jobs_[job].engine->result();
+}
+
+std::vector<TenantSummary> Testbed::tenant_summaries() const {
+  std::vector<TenantSummary> out;
+  for (const Job& job : jobs_) {
+    if (job.engine == nullptr) continue;  // never started: no results yet
+    accumulate_tenant_job(out, job.spec, job.engine->result());
+  }
+  return out;
 }
 
 std::vector<iogen::IoEngine*> Testbed::start_pending_jobs() {
@@ -197,7 +211,18 @@ std::optional<std::vector<AppliedConfig>> FleetAdapter::set_power_budget(Watts b
     if (!cfg.standby && cfg.planned_throughput_mib_s > 0.0) ++writers;
   }
   controller_.segregate_writes(writers);
+  if (peak_planned_w_.size() < plan->size()) peak_planned_w_.resize(plan->size(), 0.0);
+  for (std::size_t i = 0; i < plan->size(); ++i) {
+    if ((*plan)[i].planned_power_w > peak_planned_w_[i]) {
+      peak_planned_w_[i] = (*plan)[i].planned_power_w;
+    }
+  }
   return plan;
+}
+
+void FleetAdapter::enable_priority_shaping(int max_priority) {
+  PAS_CHECK(max_priority >= 0);
+  shaping_max_priority_ = max_priority;
 }
 
 std::size_t FleetAdapter::route(const iogen::JobSpec& spec) {
@@ -214,6 +239,13 @@ std::size_t FleetAdapter::submit(iogen::JobSpec spec, bool shape_to_plan) {
     const AppliedConfig& cfg = controller_.current_plan()[index];
     if (cfg.chunk_bytes != 0) spec.block_bytes = cfg.chunk_bytes;
     if (cfg.queue_depth > 0) spec.iodepth = cfg.queue_depth;
+  }
+  if (shaping_max_priority_ > 0 && spec.arrival.kind == iogen::ArrivalKind::kClosedLoop &&
+      index < peak_planned_w_.size() && peak_planned_w_[index] > 0.0) {
+    const AppliedConfig& cfg = controller_.current_plan()[index];
+    spec.iodepth = model::shape_depth_for_priority(
+        spec.iodepth, spec.tenant_priority, shaping_max_priority_,
+        cfg.planned_power_w / peak_planned_w_[index]);
   }
   return host_.add_job(spec, index);
 }

@@ -69,8 +69,12 @@ class Testbed final : public FleetHost {
 
   std::size_t job_count() const override { return jobs_.size(); }
   std::size_t job_device(std::size_t job) const override { return jobs_[job].device; }
+  const iogen::JobSpec& job_spec(std::size_t job) const override;
   // Valid once the job has been started by run_jobs()/run_epoch().
   const iogen::JobResult& job_result(std::size_t job) const override;
+
+  // Aggregates every started job in job order (fleet_host.h contract).
+  std::vector<TenantSummary> tenant_summaries() const override;
 
   // Starts every not-yet-started job (engine construction + start, in job
   // order) and advances the shared timeline until ALL jobs have finished,
@@ -170,11 +174,23 @@ class FleetAdapter {
   // plan's IO-shaping advice for the routed device. Returns the job index.
   std::size_t submit(iogen::JobSpec spec, bool shape_to_plan = false);
 
+  // Enables tenant-priority IO shaping: subsequently submitted closed-loop
+  // jobs get their queue depth scaled by
+  // model::shape_depth_for_priority(iodepth, spec.tenant_priority,
+  // max_priority, budget fraction), where the budget fraction is the routed
+  // device's currently planned power over the peak power ever planned for it
+  // — so when the budget tightens, low-priority tenants surrender depth
+  // first. `max_priority` is the top of the priority ladder (>= 1); 0
+  // disables shaping (the default).
+  void enable_priority_shaping(int max_priority);
+
  private:
   std::size_t route(const iogen::JobSpec& spec);
 
   FleetHost& host_;
   PowerAdaptiveController controller_;
+  int shaping_max_priority_ = 0;      // 0 = shaping off
+  std::vector<Watts> peak_planned_w_;  // per device, high-water planned power
 };
 
 }  // namespace pas::core

@@ -1,0 +1,88 @@
+#include "iogen/arrival.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pas::iogen {
+
+namespace {
+
+// Derive the arrival stream's seed from the job seed so it is independent of
+// the pattern stream (which consumes the job seed directly).
+std::uint64_t arrival_seed(std::uint64_t seed) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+ArrivalProcess::ArrivalProcess(const ArrivalSpec& spec, std::uint64_t seed, TimeNs start)
+    : spec_(spec), rng_(arrival_seed(seed)), start_(start), next_(start) {
+  PAS_CHECK_MSG(spec_.rate_iops > 0.0, "open-loop arrivals need rate_iops > 0");
+  if (spec_.kind == ArrivalKind::kBursty) {
+    PAS_CHECK(spec_.on_period > 0);
+    PAS_CHECK(spec_.off_period >= 0);
+  }
+  if (spec_.kind == ArrivalKind::kDiurnal) {
+    PAS_CHECK(spec_.period > 0);
+    PAS_CHECK(spec_.trough_fraction >= 0.0 && spec_.trough_fraction <= 1.0);
+  }
+  schedule_next();
+}
+
+double ArrivalProcess::draw_exp_ns(double rate) {
+  // Inverse-CDF exponential; 1 - u is in (0, 1] so the log is finite.
+  const double u = rng_.next_double();
+  return -std::log(1.0 - u) / rate * 1e9;
+}
+
+void ArrivalProcess::pop() { schedule_next(); }
+
+void ArrivalProcess::schedule_next() {
+  TimeNs at = next_;
+  switch (spec_.kind) {
+    case ArrivalKind::kPoisson: {
+      clock_ns_ += draw_exp_ns(spec_.rate_iops);
+      at = start_ + static_cast<TimeNs>(std::llround(clock_ns_));
+      break;
+    }
+    case ArrivalKind::kBursty: {
+      // Draw in "active time" (the concatenation of on-periods), then map
+      // back to wall time by re-inserting the off-period gaps.
+      clock_ns_ += draw_exp_ns(spec_.rate_iops);
+      const double on = static_cast<double>(spec_.on_period);
+      const double cycles = std::floor(clock_ns_ / on);
+      const double within = clock_ns_ - cycles * on;
+      at = start_ +
+           static_cast<TimeNs>(cycles) * (spec_.on_period + spec_.off_period) +
+           static_cast<TimeNs>(std::llround(within));
+      break;
+    }
+    case ArrivalKind::kDiurnal: {
+      // Thinning (Lewis & Shedler): candidates at the peak rate, each kept
+      // with probability rate(t)/peak. The rate curve is one raised cosine
+      // from trough_fraction*peak at t=0 up to peak at period/2 and back.
+      for (;;) {
+        clock_ns_ += draw_exp_ns(spec_.rate_iops);
+        const double phase = 2.0 * kPi * (clock_ns_ / static_cast<double>(spec_.period));
+        const double rel = spec_.trough_fraction +
+                           (1.0 - spec_.trough_fraction) * 0.5 * (1.0 - std::cos(phase));
+        if (rng_.next_double() < rel) break;
+      }
+      at = start_ + static_cast<TimeNs>(std::llround(clock_ns_));
+      break;
+    }
+    case ArrivalKind::kClosedLoop:
+    case ArrivalKind::kTrace:
+      PAS_CHECK_MSG(false, "ArrivalProcess only models stochastic open-loop kinds");
+  }
+  // Monotone and strictly advancing so the driver always makes progress.
+  next_ = at > next_ ? at : next_ + 1;
+}
+
+}  // namespace pas::iogen

@@ -1,13 +1,15 @@
 #include "iogen/engine.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "common/check.h"
+#include "iogen/replay.h"
 
 namespace pas::iogen {
 
 IoEngine::IoEngine(sim::Simulator& sim, sim::BlockDevice& device, JobSpec spec)
-    : sim_(sim), device_(device), spec_(std::move(spec)), rng_(spec_.seed) {
+    : sim_(sim), device_(device), spec_(std::move(spec)) {
   PAS_CHECK(spec_.iodepth >= 1);
   PAS_CHECK(spec_.block_bytes > 0);
   PAS_CHECK(spec_.block_bytes % device_.sector_bytes() == 0);
@@ -15,23 +17,13 @@ IoEngine::IoEngine(sim::Simulator& sim, sim::BlockDevice& device, JobSpec spec)
   PAS_CHECK(spec_.region_offset % device_.sector_bytes() == 0);
   PAS_CHECK_MSG(spec_.region_offset + spec_.region_bytes <= device_.capacity_bytes(),
                 "job region exceeds device capacity");
-  region_blocks_ = spec_.region_bytes / spec_.block_bytes;
   PAS_CHECK(spec_.rw_mix_read_pct <= 100);
-  if (spec_.pattern == Pattern::kRandom && spec_.offset_dist == OffsetDist::kZipf) {
-    zipf_ = std::make_unique<ZipfGenerator>(region_blocks_, spec_.zipf_theta);
+  if (spec_.arrival.kind == ArrivalKind::kTrace) {
+    PAS_CHECK_MSG(spec_.pattern_kind == PatternKind::kTraceReplay,
+                  "ArrivalKind::kTrace requires PatternKind::kTraceReplay");
   }
+  pattern_ = make_pattern(spec_, spec_.region_bytes / spec_.block_bytes);
 }
-
-namespace {
-// Scrambles zipf ranks over the region so the hot set isn't one contiguous
-// run (YCSB's "scrambled zipfian").
-std::uint64_t scramble(std::uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xFF51AFD7ED558CCDULL;
-  x ^= x >> 33;
-  return x;
-}
-}  // namespace
 
 void IoEngine::start(std::function<void()> on_done) {
   PAS_CHECK(!started_);
@@ -39,7 +31,19 @@ void IoEngine::start(std::function<void()> on_done) {
   on_done_ = std::move(on_done);
   start_time_ = sim_.now();
   deadline_ = start_time_ + spec_.time_limit;
-  fill_pipe();
+  switch (spec_.arrival.kind) {
+    case ArrivalKind::kClosedLoop:
+      fill_pipe();
+      break;
+    case ArrivalKind::kTrace:
+      // Timing comes from the trace records via pattern_->peek_at().
+      pump();
+      break;
+    default:
+      arrival_ = std::make_unique<ArrivalProcess>(spec_.arrival, spec_.seed, start_time_);
+      pump();
+      break;
+  }
 }
 
 bool IoEngine::limits_reached() const {
@@ -47,78 +51,202 @@ bool IoEngine::limits_reached() const {
   return bytes_done || sim_.now() >= deadline_;
 }
 
-std::uint64_t IoEngine::next_offset() {
-  std::uint64_t block = 0;
-  if (spec_.pattern == Pattern::kRandom) {
-    if (zipf_ != nullptr) {
-      block = scramble(zipf_->next(rng_)) % region_blocks_;
-    } else {
-      block = rng_.next_below(region_blocks_);
-    }
-  } else {
-    block = seq_cursor_;
-    seq_cursor_ = (seq_cursor_ + 1) % region_blocks_;
+// Absolute time of the next open-loop arrival, kNoArrival when exhausted.
+TimeNs IoEngine::next_arrival() const {
+  if (spec_.arrival.kind == ArrivalKind::kTrace) {
+    const TimeNs rel = pattern_->peek_at();
+    return rel == kNoArrival ? kNoArrival : start_time_ + rel;
   }
-  return spec_.region_offset + block * spec_.block_bytes;
+  return arrival_->next_at();
 }
 
-sim::IoOp IoEngine::next_op() {
-  if (spec_.rw_mix_read_pct >= 0) {
-    return rng_.next_below(100) < static_cast<std::uint64_t>(spec_.rw_mix_read_pct)
-               ? sim::IoOp::kRead
-               : sim::IoOp::kWrite;
-  }
-  return spec_.op == OpKind::kRead ? sim::IoOp::kRead : sim::IoOp::kWrite;
+TimeNs IoEngine::next_wake() const {
+  if (!open_loop() || !started_ || exhausted_ || finished_) return kNoArrival;
+  const TimeNs at = next_arrival();
+  // The deadline caps the wake time so a job with sparse arrivals still
+  // notices its time limit and drains.
+  return at < deadline_ ? at : deadline_;
 }
 
-void IoEngine::issue_one() {
+void IoEngine::issue(const PatternIo& io) {
   sim::IoRequest req;
-  req.op = next_op();
-  req.offset = next_offset();
-  req.bytes = spec_.block_bytes;
+  req.op = io.op;
+  req.offset = io.offset;
+  req.bytes = io.bytes;
   issued_bytes_ += req.bytes;
   ++in_flight_;
-  device_.submit(req, [this](const sim::IoCompletion& c) { on_complete(c); });
+  const bool rmw = io.rmw;
+  device_.submit(req, [this, rmw](const sim::IoCompletion& c) { on_complete(c, rmw); });
+}
+
+bool IoEngine::issue_next() {
+  PatternIo io;
+  if (!pattern_->next(io)) {
+    exhausted_ = true;
+    return false;
+  }
+  issue(io);
+  return true;
 }
 
 void IoEngine::fill_pipe() {
-  while (in_flight_ < spec_.iodepth && !limits_reached()) issue_one();
+  while (in_flight_ < spec_.iodepth && !limits_reached() && !exhausted_) {
+    if (!issue_next()) break;
+  }
 }
 
-void IoEngine::on_complete(const sim::IoCompletion& c) {
-  --in_flight_;
-  ++result_.ios;
-  result_.bytes += c.request.bytes;
-  result_.latency.add(c.latency());
-  if (!limits_reached()) {
-    fill_pipe();
-    return;
+void IoEngine::pump() {
+  if (!open_loop() || !started_ || exhausted_ || finished_) return;
+  while (true) {
+    if (limits_reached()) {
+      exhausted_ = true;
+      break;
+    }
+    const TimeNs at = next_arrival();
+    if (at == kNoArrival) {
+      exhausted_ = true;
+      break;
+    }
+    if (at > sim_.now()) break;
+    if (!issue_next()) break;  // pattern dry -> exhausted_
+    if (arrival_ != nullptr) arrival_->pop();
   }
-  if (in_flight_ == 0 && !finished_) {
+  maybe_finish();
+}
+
+void IoEngine::maybe_finish() {
+  if (exhausted_ && in_flight_ == 0 && !finished_) {
     finished_ = true;
     result_.elapsed = sim_.now() - start_time_;
     if (on_done_) on_done_();
   }
 }
 
-void drive(sim::Simulator& sim, std::span<IoEngine* const> engines) {
-  auto all_finished = [&] {
-    for (IoEngine* e : engines) {
-      if (!e->finished()) return false;
-    }
-    return true;
-  };
-  while (!all_finished() && sim.step()) {
+void IoEngine::on_complete(const sim::IoCompletion& c, bool rmw) {
+  --in_flight_;
+  ++result_.ios;
+  result_.bytes += c.request.bytes;
+  result_.latency.add(c.latency());
+  if (spec_.slo_latency > 0) {
+    ++result_.slo_ios;
+    if (c.latency() > spec_.slo_latency) ++result_.slo_violations;
   }
-  PAS_CHECK_MSG(all_finished(), "simulation drained before the job finished");
+  if (rmw) {
+    // The modify half of a read-modify-write: write the block back
+    // unconditionally so the pair is never left half done.
+    PatternIo wb;
+    wb.op = sim::IoOp::kWrite;
+    wb.offset = c.request.offset;
+    wb.bytes = c.request.bytes;
+    wb.rmw = false;
+    issue(wb);
+  }
+  if (open_loop()) {
+    // Arrivals are clock-driven; completions only drain the pipe. Late
+    // arrivals are picked up by the driver's pump, but the limits can flip
+    // to exhausted here (e.g. the byte budget filled while IOs were in
+    // flight).
+    if (!exhausted_ && limits_reached()) exhausted_ = true;
+    maybe_finish();
+    return;
+  }
+  if (!limits_reached() && !exhausted_) {
+    fill_pipe();
+    if (in_flight_ > 0) return;
+  }
+  // Reaching here means no further IOs will be issued (limits hit or the
+  // pattern ran dry); both are permanent, so the job is exhausted.
+  exhausted_ = true;
+  maybe_finish();
 }
 
-bool drive_until(sim::Simulator& sim, std::span<IoEngine* const> engines, TimeNs until) {
-  sim.run_until(until);
+namespace {
+
+bool all_finished(std::span<IoEngine* const> engines) {
   for (IoEngine* e : engines) {
     if (!e->finished()) return false;
   }
   return true;
+}
+
+bool any_open_loop(std::span<IoEngine* const> engines) {
+  for (IoEngine* e : engines) {
+    if (e->open_loop()) return true;
+  }
+  return false;
+}
+
+TimeNs min_wake(std::span<IoEngine* const> engines) {
+  TimeNs wake = kNoArrival;
+  for (IoEngine* e : engines) {
+    const TimeNs w = e->next_wake();
+    if (w < wake) wake = w;
+  }
+  return wake;
+}
+
+void pump_all(std::span<IoEngine* const> engines) {
+  for (IoEngine* e : engines) e->pump();
+}
+
+// The queue drained with unfinished jobs: name them so the stuck job is
+// diagnosable (which engine, how deep its pipe, how far it got).
+[[noreturn]] void report_stuck(sim::Simulator& sim, std::span<IoEngine* const> engines) {
+  std::fprintf(stderr,
+               "drive(): simulation drained at t=%lld ns before the job finished; "
+               "unfinished engines:\n",
+               static_cast<long long>(sim.now()));
+  for (IoEngine* e : engines) {
+    if (e->finished()) continue;
+    std::fprintf(stderr, "  [%s] in_flight=%d issued_bytes=%llu\n",
+                 e->spec().label().c_str(), e->in_flight(),
+                 static_cast<unsigned long long>(e->issued_bytes()));
+  }
+  PAS_CHECK_MSG(false, "simulation drained before the job finished");
+  std::abort();
+}
+
+}  // namespace
+
+void drive(sim::Simulator& sim, std::span<IoEngine* const> engines) {
+  if (!any_open_loop(engines)) {
+    // Historical fast path: pure closed-loop fleets step event-for-event
+    // with no wake bookkeeping (and byte-identical results).
+    while (!all_finished(engines) && sim.step()) {
+    }
+    if (!all_finished(engines)) report_stuck(sim, engines);
+    return;
+  }
+  while (!all_finished(engines)) {
+    const TimeNs wake = min_wake(engines);
+    const TimeNs evt = sim.peek_next_time();
+    if (evt != sim::Simulator::kNoEvent && evt <= wake) {
+      sim.step();
+    } else if (wake != kNoArrival) {
+      // Idle gap: no event before the next arrival. Coast the clock to the
+      // arrival instead of treating the drained queue as a stuck job.
+      sim.run_until(wake);
+    } else {
+      report_stuck(sim, engines);
+    }
+    pump_all(engines);
+  }
+}
+
+bool drive_until(sim::Simulator& sim, std::span<IoEngine* const> engines, TimeNs until) {
+  if (!any_open_loop(engines)) {
+    sim.run_until(until);
+    return all_finished(engines);
+  }
+  while (true) {
+    pump_all(engines);
+    const TimeNs wake = min_wake(engines);
+    if (wake == kNoArrival || wake > until) break;
+    sim.run_until(wake);
+  }
+  sim.run_until(until);
+  pump_all(engines);
+  return all_finished(engines);
 }
 
 JobResult run_job(sim::Simulator& sim, sim::BlockDevice& device, const JobSpec& spec) {

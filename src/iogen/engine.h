@@ -1,16 +1,27 @@
 // Asynchronous IO engine, the moral equivalent of fio's libaio engine with
-// direct=1: keeps `iodepth` requests outstanding against a block device,
-// records per-IO completion latency, and stops at the byte or time limit.
+// direct=1, rebuilt as the composition of two layers (DESIGN.md section 12):
+//
+//   arrival layer (WHEN)  — closed-loop: keep `iodepth` requests outstanding,
+//                           completions trigger issues (the historical
+//                           engine, byte-identical);
+//                           open-loop: issue at ArrivalProcess / trace times
+//                           regardless of completions, so latency includes
+//                           queueing delay;
+//   pattern layer (WHAT)  — AccessPattern generates each (op, offset, bytes):
+//                           seq/rand/zipf, trace replay, or keyspace.
+//
+// The engine records per-IO completion latency (and SLO violations when the
+// job carries a latency target) and stops at the byte or time limit — or,
+// for finite patterns, when the trace runs dry.
 #pragma once
 
 #include <functional>
-
 #include <memory>
 #include <span>
 
-#include "common/rng.h"
-#include "common/zipf.h"
+#include "iogen/arrival.h"
 #include "iogen/job.h"
+#include "iogen/pattern.h"
 #include "sim/block_device.h"
 #include "sim/simulator.h"
 
@@ -27,45 +38,68 @@ class IoEngine {
   bool finished() const { return finished_; }
   const JobResult& result() const { return result_; }
   int in_flight() const { return in_flight_; }
+  const JobSpec& spec() const { return spec_; }
+
+  // Open-loop support, consumed by drive()/drive_until():
+  bool open_loop() const { return spec_.arrival.kind != ArrivalKind::kClosedLoop; }
+  // Absolute simulation time this engine next needs the driver's attention
+  // (its next arrival, capped by its deadline); kNoArrival for closed-loop
+  // engines and once the arrival stream is exhausted. An engine whose wake
+  // time has passed has work pending in pump().
+  TimeNs next_wake() const;
+  // Issue every arrival due at or before now(). No-op for closed-loop
+  // engines. Safe to call at any time; the driver calls it after each
+  // simulator advance.
+  void pump();
+
+  // Bytes handed to the device so far (diagnostics for stuck-job reports).
+  std::uint64_t issued_bytes() const { return issued_bytes_; }
 
  private:
   bool limits_reached() const;
-  std::uint64_t next_offset();
-  sim::IoOp next_op();
-  void issue_one();
+  TimeNs next_arrival() const;
+  void issue(const PatternIo& io);
+  bool issue_next();  // pattern -> device; false when the pattern is dry
   void fill_pipe();
-  void on_complete(const sim::IoCompletion& c);
+  void maybe_finish();
+  void on_complete(const sim::IoCompletion& c, bool rmw);
 
   sim::Simulator& sim_;
   sim::BlockDevice& device_;
   JobSpec spec_;
-  Rng rng_;
-  std::unique_ptr<ZipfGenerator> zipf_;
+  std::unique_ptr<AccessPattern> pattern_;
+  std::unique_ptr<ArrivalProcess> arrival_;
   JobResult result_;
   std::function<void()> on_done_;
 
   TimeNs start_time_ = 0;
   TimeNs deadline_ = 0;
   std::uint64_t issued_bytes_ = 0;
-  std::uint64_t seq_cursor_ = 0;
-  std::uint64_t region_blocks_ = 0;
   int in_flight_ = 0;
   bool started_ = false;
   bool finished_ = false;
+  // No further arrivals will be issued (limits hit or pattern dry); the job
+  // finishes when the pipe drains.
+  bool exhausted_ = false;
 };
 
 // THE "advance the simulator until the jobs finish" loop: steps `sim` until
 // every started engine reports finished(). There is exactly one such loop in
 // the repo — run_job and core::Testbed both drive through it — so the
 // stop/drain semantics cannot diverge between the single-device and fleet
-// paths. Aborts if the event queue drains first (a stuck job).
+// paths. Open-loop engines are woken at their arrival times, so an idle gap
+// between sparse arrivals (empty event queue, future arrival) advances the
+// clock to the next arrival rather than aborting. Aborts — naming each
+// unfinished engine, its in-flight count, and its issued bytes — only when
+// the queue drains with no pending arrival (a genuinely stuck job).
 void drive(sim::Simulator& sim, std::span<IoEngine* const> engines);
 
 // Epoch-bounded variant for barrier-stepped fleets: advances `sim` to
-// exactly `until` (events at or before `until` fire, then the clock lands on
-// `until`), whether or not the jobs have finished. Returns true once every
-// engine reports finished(). Unlike drive(), a drained event queue is not an
-// error here — an all-idle shard simply coasts to the epoch boundary.
+// exactly `until` (events and arrivals at or before `until` fire, then the
+// clock lands on `until`), whether or not the jobs have finished. Returns
+// true once every engine reports finished(). Unlike drive(), a drained event
+// queue is not an error here — an all-idle shard simply coasts to the epoch
+// boundary.
 bool drive_until(sim::Simulator& sim, std::span<IoEngine* const> engines, TimeNs until);
 
 // Convenience: run one job to completion on a fresh simulator timeline,

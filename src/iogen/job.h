@@ -3,9 +3,23 @@
 // The paper's workloads (section 3): random/sequential reads and writes,
 // chunk sizes 4 KiB..2 MiB, queue depths 1..128, asynchronous direct IO,
 // each run capped at 60 seconds or 4 GiB of traffic, whichever comes first.
+//
+// Beyond the paper's closed-loop grid, a job is the cross of three layers
+// (DESIGN.md section 12):
+//   * an ArrivalSpec — WHEN IOs are issued: closed-loop iodepth (the paper's
+//     fio semantics, the default), or open-loop arrivals (Poisson, bursty
+//     on/off, diurnal rate curve, trace timestamps) where response time
+//     includes queueing delay;
+//   * an access pattern — WHAT each IO is: the seq/rand/zipf fields below,
+//     a block-trace replay (`trace`), or a YCSB-like keyspace with
+//     read-modify-write;
+//   * a tenant identity — WHO the IO belongs to: tenant id, priority, and a
+//     per-IO latency SLO target, aggregated per tenant across the fleet.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <memory>
 #include <string>
 
 #include "common/histogram.h"
@@ -13,22 +27,59 @@
 
 namespace pas::iogen {
 
+class ReplayTrace;  // iogen/replay.h
+
 enum class Pattern : std::uint8_t { kSequential, kRandom };
 enum class OpKind : std::uint8_t { kRead, kWrite };
 // Offset distribution for random patterns: uniform, or scrambled-zipfian
 // skew (hot set), as real data-center traces exhibit.
 enum class OffsetDist : std::uint8_t { kUniform, kZipf };
 
+// What generates each IO's (op, offset, bytes): the classic fields below
+// (kBasic), a loaded block trace, or the YCSB-like keyspace pattern.
+enum class PatternKind : std::uint8_t { kBasic, kTraceReplay, kKeyspace };
+
+// When IOs are issued. kClosedLoop keeps `iodepth` outstanding (fio
+// semantics, the paper's grid). The open-loop kinds issue on a simulated
+// arrival clock regardless of completions, so a slow device grows a queue
+// instead of throttling the workload:
+//   kPoisson — exponential inter-arrivals at rate_iops;
+//   kBursty  — Poisson at rate_iops during on_period, silent for off_period;
+//   kDiurnal — non-homogeneous Poisson, rate swept through one cosine day of
+//              length `period` from trough_fraction*rate_iops up to rate_iops;
+//   kTrace   — arrivals at the replay trace's own timestamps (requires
+//              PatternKind::kTraceReplay).
+enum class ArrivalKind : std::uint8_t { kClosedLoop, kPoisson, kBursty, kDiurnal, kTrace };
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kClosedLoop;
+  double rate_iops = 0.0;           // mean/peak arrival rate (open-loop kinds)
+  TimeNs on_period = seconds(1);    // kBursty: burst length
+  TimeNs off_period = seconds(1);   // kBursty: idle gap length
+  TimeNs period = seconds(60);      // kDiurnal: one full rate-curve cycle
+  double trough_fraction = 0.1;     // kDiurnal: trough rate / peak rate
+};
+
 inline const char* to_string(Pattern p) {
   return p == Pattern::kSequential ? "seq" : "rand";
 }
 inline const char* to_string(OpKind k) { return k == OpKind::kRead ? "read" : "write"; }
+inline const char* to_string(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kClosedLoop: return "closed";
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBursty: return "bursty";
+    case ArrivalKind::kDiurnal: return "diurnal";
+    case ArrivalKind::kTrace: return "trace";
+  }
+  return "?";
+}
 
 struct JobSpec {
   Pattern pattern = Pattern::kRandom;
   OpKind op = OpKind::kWrite;
   std::uint32_t block_bytes = 4096;  // fio bs=
-  int iodepth = 1;                   // fio iodepth=
+  int iodepth = 1;                   // fio iodepth= (closed-loop only)
 
   // Mixed workloads (fio rwmixread=): when >= 0, this percentage of IOs are
   // reads and the rest writes, overriding `op` per IO.
@@ -50,10 +101,62 @@ struct JobSpec {
 
   std::uint64_t seed = 1;
 
+  // --- arrival layer (open-loop engines; kClosedLoop reproduces the
+  // historical engine byte-for-byte) ---
+  ArrivalSpec arrival;
+
+  // --- pattern layer ---
+  PatternKind pattern_kind = PatternKind::kBasic;
+  // kTraceReplay: the trace to replay (shared so one parsed file drives many
+  // jobs). Offsets/lengths/ops come from the records; with
+  // ArrivalKind::kTrace the timestamps drive arrivals too.
+  std::shared_ptr<const ReplayTrace> trace;
+  // kKeyspace: number of distinct keys (0 = one key per region block), each
+  // mapped to a block via a stable scramble; key choice follows offset_dist
+  // (uniform or zipf over keys), and rmw_pct percent of arrivals are
+  // read-modify-write pairs (read, then a write-back of the same block on
+  // completion).
+  std::uint64_t key_count = 0;
+  int rmw_pct = 0;
+
+  // --- tenant layer ---
+  int tenant = 0;
+  int tenant_priority = 1;  // higher = keeps more depth under tight budgets
+  // Per-IO latency SLO target; 0 = no SLO. Every completed IO of the job
+  // counts toward the tenant's SLO population; completions slower than this
+  // count as violations.
+  TimeNs slo_latency = 0;
+
   std::string label() const {
     std::string s = to_string(pattern);
     s += to_string(op);
     s += " bs=" + std::to_string(block_bytes / 1024) + "KiB qd=" + std::to_string(iodepth);
+    // Non-default layers append so historical labels (and the CSV baselines
+    // keyed on them) are unchanged for the paper's grid cells.
+    if (rw_mix_read_pct >= 0) s += " mix=" + std::to_string(rw_mix_read_pct) + "r";
+    if (pattern == Pattern::kRandom && offset_dist == OffsetDist::kZipf) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " zipf=%g", zipf_theta);
+      s += buf;
+    }
+    if (pattern_kind == PatternKind::kTraceReplay) s += " replay";
+    if (pattern_kind == PatternKind::kKeyspace) {
+      s += " keys=" + std::to_string(key_count);
+      if (rmw_pct > 0) s += " rmw=" + std::to_string(rmw_pct);
+    }
+    if (arrival.kind != ArrivalKind::kClosedLoop) {
+      s += " ";
+      s += to_string(arrival.kind);
+      if (arrival.kind != ArrivalKind::kTrace) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "=%g/s", arrival.rate_iops);
+        s += buf;
+      }
+    }
+    if (tenant != 0) s += " t" + std::to_string(tenant);
+    if (slo_latency > 0) {
+      s += " slo=" + std::to_string(slo_latency / kNsPerUs) + "us";
+    }
     return s;
   }
 };
@@ -63,6 +166,12 @@ struct JobResult {
   std::uint64_t bytes = 0;
   TimeNs elapsed = 0;
   LatencyHistogram latency;
+  // SLO accounting (jobs with slo_latency > 0): completions counted and the
+  // subset slower than the target. Open-loop latencies include queueing
+  // delay, so a capped device shows up here instead of as silently lower
+  // throughput.
+  std::uint64_t slo_ios = 0;
+  std::uint64_t slo_violations = 0;
 
   double throughput_mib_s() const { return mib_per_sec(bytes, elapsed); }
   double iops() const {
@@ -70,6 +179,10 @@ struct JobResult {
   }
   double avg_latency_us() const { return latency.mean_ns() / 1e3; }
   double p99_latency_us() const { return static_cast<double>(latency.p99_ns()) / 1e3; }
+  double slo_violation_rate() const {
+    return slo_ios > 0 ? static_cast<double>(slo_violations) / static_cast<double>(slo_ios)
+                       : 0.0;
+  }
 };
 
 }  // namespace pas::iogen

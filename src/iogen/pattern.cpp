@@ -1,0 +1,175 @@
+#include "iogen/pattern.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "iogen/replay.h"
+
+namespace pas::iogen {
+
+namespace {
+
+// Scrambles zipf ranks over the region so the hot set isn't one contiguous
+// run (YCSB's "scrambled zipfian").
+std::uint64_t scramble(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// The paper's grid. The draw order (op first, then offset) and the RNG
+// stream (one Rng seeded with the job seed) replicate the historical
+// monolithic engine exactly — the closed-loop parity suite pins this.
+class BasicPattern final : public AccessPattern {
+ public:
+  BasicPattern(const JobSpec& spec, std::uint64_t region_blocks)
+      : spec_(spec), rng_(spec.seed), region_blocks_(region_blocks) {
+    if (spec_.pattern == Pattern::kRandom && spec_.offset_dist == OffsetDist::kZipf) {
+      zipf_ = std::make_unique<ZipfGenerator>(region_blocks_, spec_.zipf_theta);
+    }
+  }
+
+  bool next(PatternIo& io) override {
+    io.op = next_op();
+    io.offset = next_offset();
+    io.bytes = spec_.block_bytes;
+    io.rmw = false;
+    return true;
+  }
+
+ private:
+  sim::IoOp next_op() {
+    if (spec_.rw_mix_read_pct >= 0) {
+      return rng_.next_below(100) < static_cast<std::uint64_t>(spec_.rw_mix_read_pct)
+                 ? sim::IoOp::kRead
+                 : sim::IoOp::kWrite;
+    }
+    return spec_.op == OpKind::kRead ? sim::IoOp::kRead : sim::IoOp::kWrite;
+  }
+
+  std::uint64_t next_offset() {
+    std::uint64_t block = 0;
+    if (spec_.pattern == Pattern::kRandom) {
+      if (zipf_ != nullptr) {
+        block = scramble(zipf_->next(rng_)) % region_blocks_;
+      } else {
+        block = rng_.next_below(region_blocks_);
+      }
+    } else {
+      block = seq_cursor_;
+      seq_cursor_ = (seq_cursor_ + 1) % region_blocks_;
+    }
+    return spec_.region_offset + block * spec_.block_bytes;
+  }
+
+  JobSpec spec_;
+  Rng rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  std::uint64_t region_blocks_ = 0;
+  std::uint64_t seq_cursor_ = 0;
+};
+
+// Replays a loaded block trace record-for-record. Offsets are wrapped into
+// the job's region so a trace captured on a larger device still addresses
+// valid blocks here.
+class ReplayPattern final : public AccessPattern {
+ public:
+  explicit ReplayPattern(const JobSpec& spec) : spec_(spec), trace_(spec.trace) {
+    PAS_CHECK_MSG(trace_ != nullptr && !trace_->empty(),
+                  "PatternKind::kTraceReplay needs a non-empty JobSpec::trace");
+  }
+
+  bool next(PatternIo& io) override {
+    const auto& records = trace_->records();
+    if (cursor_ >= records.size()) return false;
+    const TraceRecord& r = records[cursor_++];
+    io.op = r.op;
+    io.bytes = r.bytes;
+    // Clamp the transfer inside the region, sector-aligned at the front.
+    if (io.bytes > spec_.region_bytes) {
+      io.bytes = static_cast<std::uint32_t>(
+          spec_.region_bytes - spec_.region_bytes % kTraceSectorBytes);
+    }
+    const std::uint64_t span = spec_.region_bytes - io.bytes;
+    const std::uint64_t aligned = r.offset % (span + 1);
+    io.offset = spec_.region_offset + aligned - aligned % kTraceSectorBytes;
+    io.rmw = false;
+    return true;
+  }
+
+  TimeNs peek_at() const override {
+    const auto& records = trace_->records();
+    return cursor_ < records.size() ? records[cursor_].at : kNoArrival;
+  }
+
+ private:
+  JobSpec spec_;
+  std::shared_ptr<const ReplayTrace> trace_;
+  std::size_t cursor_ = 0;
+};
+
+// YCSB-like keyspace: key_count keys (default one per region block), each
+// mapped to a block by a stable scramble so the hot keys scatter across the
+// region; key choice follows offset_dist; rmw_pct percent of arrivals are
+// read-modify-write pairs.
+class KeyspacePattern final : public AccessPattern {
+ public:
+  KeyspacePattern(const JobSpec& spec, std::uint64_t region_blocks)
+      : spec_(spec),
+        rng_(spec.seed),
+        region_blocks_(region_blocks),
+        key_count_(spec.key_count == 0 ? region_blocks : spec.key_count) {
+    PAS_CHECK_MSG(key_count_ > 0, "keyspace pattern needs at least one key");
+    PAS_CHECK(spec_.rmw_pct >= 0 && spec_.rmw_pct <= 100);
+    if (spec_.offset_dist == OffsetDist::kZipf) {
+      zipf_ = std::make_unique<ZipfGenerator>(key_count_, spec_.zipf_theta);
+    }
+  }
+
+  bool next(PatternIo& io) override {
+    io.rmw = spec_.rmw_pct > 0 &&
+             rng_.next_below(100) < static_cast<std::uint64_t>(spec_.rmw_pct);
+    if (io.rmw) {
+      io.op = sim::IoOp::kRead;  // the engine writes the block back on completion
+    } else if (spec_.rw_mix_read_pct >= 0) {
+      io.op = rng_.next_below(100) < static_cast<std::uint64_t>(spec_.rw_mix_read_pct)
+                  ? sim::IoOp::kRead
+                  : sim::IoOp::kWrite;
+    } else {
+      io.op = spec_.op == OpKind::kRead ? sim::IoOp::kRead : sim::IoOp::kWrite;
+    }
+    const std::uint64_t key =
+        zipf_ != nullptr ? zipf_->next(rng_) : rng_.next_below(key_count_);
+    io.offset = spec_.region_offset + (scramble(key) % region_blocks_) * spec_.block_bytes;
+    io.bytes = spec_.block_bytes;
+    return true;
+  }
+
+ private:
+  JobSpec spec_;
+  Rng rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  std::uint64_t region_blocks_ = 0;
+  std::uint64_t key_count_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<AccessPattern> make_pattern(const JobSpec& spec,
+                                            std::uint64_t region_blocks) {
+  switch (spec.pattern_kind) {
+    case PatternKind::kBasic:
+      return std::make_unique<BasicPattern>(spec, region_blocks);
+    case PatternKind::kTraceReplay:
+      return std::make_unique<ReplayPattern>(spec);
+    case PatternKind::kKeyspace:
+      return std::make_unique<KeyspacePattern>(spec, region_blocks);
+  }
+  PAS_CHECK_MSG(false, "unknown PatternKind");
+  return nullptr;
+}
+
+}  // namespace pas::iogen

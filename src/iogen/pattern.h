@@ -1,0 +1,61 @@
+// Access-pattern layer of the workload engine: WHAT each IO is.
+//
+// An AccessPattern is a pull-based generator of (op, offset, bytes) triples.
+// The engine asks for the next IO when its arrival layer decides one should
+// be issued; the pattern neither knows nor cares whether the job is closed-
+// or open-loop.
+//
+//   BasicPattern    — the paper's grid: seq/rand offsets, uniform or
+//                     scrambled-zipfian skew, fixed block size, optional
+//                     read/write mix. Bit-identical to the historical
+//                     monolithic engine (same RNG, same draw order:
+//                     op first, then offset).
+//   ReplayPattern   — replays a loaded block trace record-for-record;
+//                     finite (next() returns false when the trace is dry),
+//                     and exposes each record's timestamp via peek_at() so
+//                     ArrivalKind::kTrace can pace arrivals from the trace.
+//   KeyspacePattern — YCSB-like: a fixed population of keys mapped to
+//                     blocks by a stable scramble, key choice uniform or
+//                     zipfian, and an optional read-modify-write fraction
+//                     (the engine issues the write-back when the read
+//                     completes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "iogen/arrival.h"
+#include "iogen/job.h"
+#include "sim/block_device.h"
+
+namespace pas::iogen {
+
+struct PatternIo {
+  sim::IoOp op = sim::IoOp::kRead;
+  std::uint64_t offset = 0;
+  std::uint32_t bytes = 0;
+  // Read-modify-write: the engine writes the same (offset, bytes) back when
+  // this read completes.
+  bool rmw = false;
+};
+
+class AccessPattern {
+ public:
+  virtual ~AccessPattern() = default;
+
+  // Produce the next IO. Returns false when the pattern is exhausted (only
+  // finite patterns — trace replay — ever are).
+  virtual bool next(PatternIo& io) = 0;
+
+  // Arrival timestamp (relative to job start) of the IO the next call to
+  // next() would produce; kNoArrival if the pattern carries no timing or is
+  // exhausted. Only ReplayPattern overrides this.
+  virtual TimeNs peek_at() const { return kNoArrival; }
+};
+
+// Build the pattern a JobSpec asks for. `region_blocks` is
+// spec.region_bytes / spec.block_bytes, already validated by the engine.
+std::unique_ptr<AccessPattern> make_pattern(const JobSpec& spec,
+                                            std::uint64_t region_blocks);
+
+}  // namespace pas::iogen

@@ -1,0 +1,132 @@
+#include "iogen/replay.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pas::iogen {
+
+namespace {
+
+// One CSV field up to the next comma/end; leading/trailing spaces trimmed.
+std::string next_field(const std::string& line, std::size_t& pos) {
+  std::size_t end = line.find(',', pos);
+  if (end == std::string::npos) end = line.size();
+  std::size_t b = pos;
+  std::size_t e = end;
+  while (b < e && std::isspace(static_cast<unsigned char>(line[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(line[e - 1]))) --e;
+  pos = end < line.size() ? end + 1 : line.size();
+  return line.substr(b, e - b);
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+[[noreturn]] void bad_record(const std::string& path, std::size_t line_no,
+                             const char* what) {
+  std::fprintf(stderr, "ReplayTrace: %s at %s:%zu\n", what, path.c_str(), line_no);
+  std::abort();
+}
+
+}  // namespace
+
+ReplayTrace ReplayTrace::from_records(std::vector<TraceRecord> records) {
+  PAS_CHECK_MSG(!records.empty(), "a replay trace needs at least one record");
+  TimeNs prev = 0;
+  for (const TraceRecord& r : records) {
+    PAS_CHECK_MSG(r.at >= prev, "trace timestamps must be non-decreasing");
+    PAS_CHECK_MSG(r.bytes > 0, "trace records need a positive length");
+    PAS_CHECK_MSG(r.op == sim::IoOp::kRead || r.op == sim::IoOp::kWrite,
+                  "trace replay supports read and write records");
+    prev = r.at;
+  }
+  ReplayTrace t;
+  t.records_ = std::move(records);
+  return t;
+}
+
+ReplayTrace ReplayTrace::load_csv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  PAS_CHECK_MSG(f != nullptr, "cannot open trace file");
+  std::vector<TraceRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    ++line_no;
+    line = buf;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t pos = 0;
+    const std::string ts = next_field(line, pos);
+    std::uint64_t at = 0;
+    if (!parse_u64(ts, at)) {
+      // A non-numeric first field on the first data line is a header row.
+      if (records.empty()) continue;
+      std::fclose(f);
+      bad_record(path, line_no, "non-numeric timestamp");
+    }
+    const std::string op = next_field(line, pos);
+    const std::string lba = next_field(line, pos);
+    const std::string len = next_field(line, pos);
+    TraceRecord r;
+    r.at = static_cast<TimeNs>(at);
+    const char c = op.empty() ? '\0' : static_cast<char>(std::tolower(
+                                           static_cast<unsigned char>(op[0])));
+    if (c == 'r') {
+      r.op = sim::IoOp::kRead;
+    } else if (c == 'w') {
+      r.op = sim::IoOp::kWrite;
+    } else {
+      std::fclose(f);
+      bad_record(path, line_no, "op must be R or W");
+    }
+    std::uint64_t lba_v = 0;
+    std::uint64_t len_v = 0;
+    if (!parse_u64(lba, lba_v) || !parse_u64(len, len_v) || len_v == 0 ||
+        len_v > 0xFFFFFFFFull) {
+      std::fclose(f);
+      bad_record(path, line_no, "malformed lba/len");
+    }
+    r.offset = lba_v * kTraceSectorBytes;
+    r.bytes = static_cast<std::uint32_t>(len_v);
+    records.push_back(r);
+  }
+  std::fclose(f);
+  PAS_CHECK_MSG(!records.empty(), "trace file has no records");
+  return from_records(std::move(records));
+}
+
+void ReplayTrace::save_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PAS_CHECK_MSG(f != nullptr, "cannot write trace file");
+  std::fprintf(f, "timestamp,op,lba,len\n");
+  for (const TraceRecord& r : records_) {
+    PAS_CHECK_MSG(r.offset % kTraceSectorBytes == 0,
+                  "record offset is not sector-aligned");
+    std::fprintf(f, "%lld,%c,%llu,%u\n", static_cast<long long>(r.at),
+                 r.op == sim::IoOp::kRead ? 'R' : 'W',
+                 static_cast<unsigned long long>(r.offset / kTraceSectorBytes), r.bytes);
+  }
+  std::fclose(f);
+}
+
+TimeNs ReplayTrace::duration() const {
+  return records_.empty() ? 0 : records_.back().at;
+}
+
+std::uint64_t ReplayTrace::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const TraceRecord& r : records_) total += r.bytes;
+  return total;
+}
+
+}  // namespace pas::iogen

@@ -179,4 +179,21 @@ std::vector<FleetAssignment> FleetPlanner::pareto(Watts max_budget_w, Watts step
   return frontier;
 }
 
+int shape_depth_for_priority(int base_depth, int priority, int max_priority,
+                             double budget_fraction) {
+  PAS_CHECK(base_depth >= 1);
+  PAS_CHECK(max_priority >= 1);
+  if (priority < 0) priority = 0;
+  if (priority > max_priority) priority = max_priority;
+  if (budget_fraction >= 1.0) return base_depth;
+  if (budget_fraction < 0.0) budget_fraction = 0.0;
+  // The budget fraction sets the floor every tenant shrinks toward; the
+  // priority ladder interpolates between that floor and full depth.
+  const double keep =
+      budget_fraction + (1.0 - budget_fraction) *
+                            (static_cast<double>(priority) / static_cast<double>(max_priority));
+  const int depth = static_cast<int>(std::lround(base_depth * keep));
+  return depth < 1 ? 1 : depth;
+}
+
 }  // namespace pas::model

@@ -51,6 +51,17 @@ ExperimentPoint standby_option(Watts standby_power_w);
 std::vector<Watts> split_budget(Watts budget_w, const std::vector<Watts>& floor_w,
                                 const std::vector<Watts>& ceiling_w);
 
+// Tenant-priority IO shaping for a power-constrained device: scales a job's
+// queue depth by how much of the device's full-power plan survives the
+// current budget. `budget_fraction` is planned power / full-budget planned
+// power for the routed device (>= 1 means unconstrained); a top-priority
+// tenant (priority == max_priority) keeps its full depth scaled only by the
+// budget, lower priorities give up proportionally more, and every tenant
+// keeps at least depth 1 so no job is starved outright. Pure function —
+// deterministic across shard layouts and worker counts.
+int shape_depth_for_priority(int base_depth, int priority, int max_priority,
+                             double budget_fraction);
+
 class FleetPlanner {
  public:
   explicit FleetPlanner(std::vector<FleetDevice> devices, double watt_resolution = 0.1);

@@ -1,0 +1,143 @@
+// Per-tenant aggregation through the fleet stack: Testbed and ShardedTestbed
+// tenant_summaries(), the shard-order merge, and the determinism contract
+// (identical counts at any worker count).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sharded_testbed.h"
+#include "core/testbed.h"
+#include "model/fleet.h"
+
+namespace pas::core {
+namespace {
+
+iogen::JobSpec tenant_spec(int tenant, std::uint64_t seed) {
+  iogen::JobSpec s;
+  s.pattern = iogen::Pattern::kRandom;
+  s.op = iogen::OpKind::kWrite;
+  s.block_bytes = 64 * KiB;
+  s.iodepth = 4;
+  s.io_limit_bytes = 4 * MiB;
+  s.tenant = tenant;
+  s.slo_latency = milliseconds(1);
+  s.seed = seed;
+  return s;
+}
+
+TEST(TenantSummaries, AggregatesPerTenantAcrossJobs) {
+  Testbed bed;
+  const std::size_t d0 = bed.add_device(devices::DeviceId::kSsd1, 1);
+  const std::size_t d1 = bed.add_device(devices::DeviceId::kSsd1, 2);
+  const std::size_t j0 = bed.add_job(tenant_spec(1, 10), d0);
+  const std::size_t j1 = bed.add_job(tenant_spec(1, 11), d1);
+  const std::size_t j2 = bed.add_job(tenant_spec(2, 12), d0);
+  bed.run_jobs();
+
+  const auto summaries = bed.tenant_summaries();
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].tenant, 1);
+  EXPECT_EQ(summaries[1].tenant, 2);
+  EXPECT_EQ(summaries[0].jobs, 2u);
+  EXPECT_EQ(summaries[1].jobs, 1u);
+  const auto& r0 = bed.job_result(j0);
+  const auto& r1 = bed.job_result(j1);
+  const auto& r2 = bed.job_result(j2);
+  EXPECT_EQ(summaries[0].ios, r0.ios + r1.ios);
+  EXPECT_EQ(summaries[0].bytes, r0.bytes + r1.bytes);
+  EXPECT_EQ(summaries[0].slo_ios, r0.slo_ios + r1.slo_ios);
+  EXPECT_EQ(summaries[0].slo_violations, r0.slo_violations + r1.slo_violations);
+  EXPECT_EQ(summaries[0].latency.count(), r0.latency.count() + r1.latency.count());
+  EXPECT_EQ(summaries[1].ios, r2.ios);
+  EXPECT_EQ(summaries[1].bytes, r2.bytes);
+}
+
+TEST(TenantSummaries, UntaggedJobsAggregateUnderTenantZero) {
+  Testbed bed;
+  const std::size_t d = bed.add_device(devices::DeviceId::kSsd1, 1);
+  iogen::JobSpec s = tenant_spec(0, 5);
+  s.slo_latency = 0;
+  bed.add_job(s, d);
+  bed.run_jobs();
+  const auto summaries = bed.tenant_summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].tenant, 0);
+  EXPECT_EQ(summaries[0].slo_ios, 0u);
+}
+
+// Builds a 2-shard, 4-device fleet with interleaved tenants and returns its
+// merged summaries. `workers` sizes the shard worker pool — the result must
+// not depend on it.
+std::vector<TenantSummary> run_sharded(int workers) {
+  ShardedTestbed host(2, workers);
+  for (std::size_t i = 0; i < 4; ++i) {
+    host.add_device(devices::DeviceId::kSsd1, 100 + i);
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    host.add_job(tenant_spec(static_cast<int>(i % 2) + 1, 200 + i), i);
+  }
+  host.run_jobs();
+  return host.tenant_summaries();
+}
+
+TEST(TenantSummaries, ShardMergeIsWorkerCountInvariant) {
+  const auto serial = run_sharded(1);
+  const auto parallel = run_sharded(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].tenant, parallel[i].tenant);
+    EXPECT_EQ(serial[i].jobs, parallel[i].jobs);
+    EXPECT_EQ(serial[i].ios, parallel[i].ios);
+    EXPECT_EQ(serial[i].bytes, parallel[i].bytes);
+    EXPECT_EQ(serial[i].slo_ios, parallel[i].slo_ios);
+    EXPECT_EQ(serial[i].slo_violations, parallel[i].slo_violations);
+    EXPECT_EQ(serial[i].latency.count(), parallel[i].latency.count());
+    // Bit-identical, not approximately equal: the merge happens in shard
+    // order on the coordinator, never on a worker.
+    EXPECT_EQ(serial[i].latency.mean_ns(), parallel[i].latency.mean_ns());
+  }
+  ASSERT_EQ(serial.size(), 2u);
+  EXPECT_GT(serial[0].ios, 0u);
+  EXPECT_GT(serial[1].ios, 0u);
+}
+
+TEST(MergeTenantSummaries, SumsMatchingTenantsAndInsertsNewOnes) {
+  std::vector<TenantSummary> into;
+  TenantSummary a;
+  a.tenant = 1;
+  a.jobs = 1;
+  a.ios = 10;
+  a.bytes = 100;
+  a.slo_ios = 10;
+  a.slo_violations = 3;
+  TenantSummary b = a;
+  b.tenant = 2;
+  merge_tenant_summaries(into, {a, b});
+  merge_tenant_summaries(into, {a});
+  ASSERT_EQ(into.size(), 2u);
+  EXPECT_EQ(into[0].tenant, 1);
+  EXPECT_EQ(into[0].jobs, 2u);
+  EXPECT_EQ(into[0].ios, 20u);
+  EXPECT_EQ(into[0].slo_violations, 6u);
+  EXPECT_EQ(into[1].tenant, 2);
+  EXPECT_EQ(into[1].ios, 10u);
+}
+
+TEST(ShapeDepthForPriority, ScalesDepthByPriorityUnderABudget) {
+  // Full budget: nobody sheds.
+  EXPECT_EQ(model::shape_depth_for_priority(16, 1, 3, 1.0), 16);
+  EXPECT_EQ(model::shape_depth_for_priority(16, 0, 3, 1.5), 16);
+  // Half budget: top priority keeps full depth, lower priorities shed.
+  EXPECT_EQ(model::shape_depth_for_priority(16, 3, 3, 0.5), 16);
+  EXPECT_EQ(model::shape_depth_for_priority(16, 0, 3, 0.5), 8);
+  EXPECT_LT(model::shape_depth_for_priority(16, 1, 3, 0.5), 16);
+  // Nothing is starved outright, even at zero budget and zero priority.
+  EXPECT_EQ(model::shape_depth_for_priority(16, 0, 3, 0.0), 1);
+  EXPECT_GE(model::shape_depth_for_priority(1, 0, 3, 0.0), 1);
+  // Out-of-range priorities clamp instead of extrapolating.
+  EXPECT_EQ(model::shape_depth_for_priority(16, 7, 3, 0.5), 16);
+  EXPECT_EQ(model::shape_depth_for_priority(16, -2, 3, 0.5), 8);
+}
+
+}  // namespace
+}  // namespace pas::core
