@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "core/runner.h"
 #include "devices/specs.h"
 #include "devmgmt/admin.h"
 #include "power/rig.h"
@@ -49,11 +50,25 @@ power::PowerTrace evo_transition(bool entering) {
   return trace;
 }
 
+// Full-precision sample dump (17 significant digits round-trips a double
+// exactly), so the parity suite can byte-compare the measured trace itself,
+// not just the 2-decimal console rendering.
+Table trace_table(const power::PowerTrace& trace) {
+  Table t({"t ns", "watts"});
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto s = trace[i];
+    t.add_row({Table::fmt_int(s.t), Table::fmt(s.watts, 17)});
+  }
+  return t;
+}
+
 }  // namespace
 }  // namespace pas
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace pas;
+  const auto cli = core::parse_bench_cli(argc, argv);
+  ResultSink sink("fig7", cli.csv_dir);
 
   print_banner("Figure 7a: 860 EVO, idle -> standby (ALPM SLUMBER command at 200 ms)");
   const auto enter = evo_transition(true);
@@ -69,6 +84,9 @@ int main(int, char**) {
   std::printf("  before: %.2f W   after: %.2f W   (paper: 0.17 W -> 0.35 W)\n",
               exit.slice(b, b + milliseconds(400)).mean_power(),
               exit.slice(b + milliseconds(700), b + seconds(1)).mean_power());
+
+  sink.data("enter_trace", trace_table(enter));
+  sink.data("exit_trace", trace_table(exit));
 
   print_banner("Section 3.2.2: HDD standby");
   {

@@ -373,7 +373,63 @@ int run_paper(const core::BenchCli& cli, ResultSink& sink, std::size_t devices,
   }
   sink.banner("SLO epilogue: per-tenant violation rate vs power budget");
   sink.table("slo", slo);
+  // Kernel-load accounting for the rig-sweep A/B (stdout only — not part of
+  // the parity CSVs): how many events the fleet's simulators fired in total.
+  // Gated so scripts/bench_ab.sh can compile this file unmodified in a
+  // baseline worktree that predates FleetHost::executed_events().
+#ifdef PAS_RIG_SEGMENT_LAZY
+  std::printf("events executed: %llu\n",
+              static_cast<unsigned long long>(host.executed_events()));
+#endif
   return violation ? 1 : 0;
+}
+
+// --- the monitored standby rack: what does WATCHING a fleet cost? ---
+//
+// The paper's end state is a rack that spends most of its life parked at
+// minimum power — but still instrumented, because the facility budget is
+// enforced from the measurements. This profile isolates that cost: half the
+// fleet in deep standby (ATA STANDBY IMMEDIATE where supported), the rest
+// at active idle, NO jobs, full 1 kHz rigs streaming into the per-shard
+// fleet sum, one 10 s compliance window per epoch. With per-tick sampling
+// the event kernel fires devices x 1000 events per simulated second just to
+// watch an idle rack; segment-lazy sampling makes the same measurement from
+// the (rare) power-state segments.
+int run_standby(const core::BenchCli& cli, ResultSink& sink, std::size_t devices,
+                std::size_t shards) {
+  core::ShardedTestbed host(shards, cli.jobs);
+  host.set_trace_mode(core::TraceMode::kStreamingSum);
+  for (std::size_t i = 0; i < devices; ++i) {
+    host.add_device(kFleet[i % 3], cli.experiment.seed ^ static_cast<std::uint64_t>(i));
+  }
+  std::size_t parked = 0;
+  for (std::size_t i = 0; i < devices; i += 2) {
+    if (host.device(i).pm->supports_standby()) {
+      host.device(i).pm->standby_immediate();
+      ++parked;
+    }
+  }
+  // Five simulated minutes: long enough that sampling dominates the one-off
+  // fleet construction cost (FTL tables scale with device count, not time).
+  host.start_rigs();
+  host.run_until(host.now() + seconds(300), seconds(10));
+  host.stop_rigs();
+  const power::PowerTrace trace = host.take_fleet_trace();
+  const power::TraceSummary s = trace.analyze(seconds(10));
+  // Full 17-digit precision: the rig-sweep A/B byte-compares this CSV
+  // between the segment-lazy and per-tick samplers.
+  Table report({"devices", "parked", "samples", "mean W", "max 10s-win W"});
+  report.add_row({Table::fmt_int(static_cast<long long>(devices)),
+                  Table::fmt_int(static_cast<long long>(parked)),
+                  Table::fmt_int(static_cast<long long>(s.count)),
+                  Table::fmt(s.mean_w, 17), Table::fmt(s.max_window_w, 17)});
+  sink.banner("Standby rack: 1 kHz monitoring of a parked fleet");
+  sink.table("standby", report);
+#ifdef PAS_RIG_SEGMENT_LAZY
+  std::printf("events executed: %llu\n",
+              static_cast<unsigned long long>(host.executed_events()));
+#endif
+  return 0;
 }
 
 // --- the synthetic rack: a diurnal budget over N devices on K shards ---
@@ -567,6 +623,10 @@ int run_diurnal(const core::BenchCli& cli, ResultSink& sink, std::size_t devices
   }
   sink.banner("Diurnal SLO epilogue: per-tenant violation rate vs rack budget");
   sink.table("slo_diurnal", slo);
+#ifdef PAS_RIG_SEGMENT_LAZY
+  std::printf("events executed: %llu\n",
+              static_cast<unsigned long long>(host.executed_events()));
+#endif
   return violation ? 1 : 0;
 }
 
@@ -583,15 +643,16 @@ int main(int argc, char** argv) {
        [&](const char* v) { devices = std::atol(v); }},
       {"--shards", "K", "shard count (default 1)",
        [&](const char* v) { shards = std::atol(v); }},
-      {"--profile", "P", "paper | diurnal (default paper)",
+      {"--profile", "P", "paper | diurnal | standby (default paper)",
        [&](const char* v) { profile = v; }},
   };
   const auto cli = core::parse_bench_cli(argc, argv, 0.25, extra);
-  if (profile != "paper" && profile != "diurnal") {
-    std::fprintf(stderr, "%s: --profile must be 'paper' or 'diurnal'\n", argv[0]);
+  if (profile != "paper" && profile != "diurnal" && profile != "standby") {
+    std::fprintf(stderr, "%s: --profile must be 'paper', 'diurnal' or 'standby'\n",
+                 argv[0]);
     return 2;
   }
-  if (devices < 0) devices = profile == "paper" ? 3 : 1000;
+  if (devices < 0) devices = profile == "paper" ? 3 : profile == "standby" ? 256 : 1000;
   if (devices < 1 || shards < 1) {
     std::fprintf(stderr, "%s: --devices and --shards must be >= 1\n", argv[0]);
     return 2;
@@ -601,6 +662,10 @@ int main(int argc, char** argv) {
   if (profile == "paper") {
     return run_paper(cli, sink, static_cast<std::size_t>(devices),
                      static_cast<std::size_t>(shards));
+  }
+  if (profile == "standby") {
+    return run_standby(cli, sink, static_cast<std::size_t>(devices),
+                       static_cast<std::size_t>(shards));
   }
   return run_diurnal(cli, sink, static_cast<std::size_t>(devices),
                      static_cast<std::size_t>(shards));

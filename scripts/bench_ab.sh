@@ -39,9 +39,104 @@
 #     rows (violation rate vs power budget) to AB_OUT
 #     (default: BENCH_workload.json in the repo root).
 #   AB_SLO_ARGS  extra bench args (default "--quick --seed 1")
+#
+# Rig-sweep mode (emits BENCH_rig.json):
+#   scripts/bench_ab.sh rig-sweep <baseline-ref> [rounds]
+#     The segment-lazy rig A/B, three measurements in one file:
+#       1. bench_micro_rig OLD vs NEW (the generic worktree protocol above:
+#          per-tick in the baseline tree vs per-tick AND segment-lazy in the
+#          current tree, interleaved, min of rounds);
+#       2. the 256-device standby-rack scenario OLD vs NEW (wall time; the
+#          scenario source is copied into the baseline worktree so both
+#          sides run identical code — per-tick is its only sampler there);
+#       3. the same scenario from the NEW binary alone, segment-lazy vs
+#          PAS_RIG_EVENT_DRIVEN=1 — same binary, so the "events executed"
+#          delta is exactly the ADC ticks the kernel no longer fires, and
+#          the two runs' CSVs are byte-compared to prove the samples are
+#          identical.
+#   AB_RIG_E2E  override the e2e scenario args
+#               (default "--profile standby --devices 256 --shards 1
+#                --quick --seed 1")
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ "${1:-}" = "rig-sweep" ]; then
+  BASE_REF="${2:?usage: scripts/bench_ab.sh rig-sweep <baseline-ref> [rounds]}"
+  ROUNDS="${3:-3}"
+  E2E_ARGS="${AB_RIG_E2E:---profile standby --devices 256 --shards 1 --quick --seed 1}"
+  OUT="${AB_OUT:-$REPO/BENCH_rig.json}"
+  WORK="$(mktemp -d /tmp/pas-rig.XXXXXX)"
+  trap 'rm -rf "$WORK"' EXIT
+
+  # 1+2: the generic interleaved worktree A/B, micro + e2e. The scenario
+  # source rides along so the baseline gets the standby profile (it compiles
+  # against both trees; new-API lines are gated on PAS_RIG_SEGMENT_LAZY).
+  AB_LIBS="pas_power benchmark::benchmark" \
+  AB_COPY_EXTRA="bench_fleet_scenario.cpp" \
+  AB_E2E="bench_fleet_scenario $E2E_ARGS" \
+  AB_OUT="$WORK/ab.json" \
+    "$0" "$BASE_REF" bench_micro_rig "$ROUNDS"
+
+  # 3: event counts + sample identity from the NEW binary alone.
+  BIN="$REPO/build-ab/bench/bench_fleet_scenario"
+  echo "== event accounting (segment-lazy vs PAS_RIG_EVENT_DRIVEN=1)"
+  # shellcheck disable=SC2086
+  "$BIN" $E2E_ARGS --csv-dir "$WORK/lazy" | tee "$WORK/lazy.out" | tail -1
+  # shellcheck disable=SC2086
+  PAS_RIG_EVENT_DRIVEN=1 "$BIN" $E2E_ARGS --csv-dir "$WORK/tick" \
+      | tee "$WORK/tick.out" | tail -1
+  for f in "$WORK/lazy"/*; do
+    cmp "$f" "$WORK/tick/$(basename "$f")"
+  done
+  echo "   CSVs byte-identical between samplers"
+
+  python3 - "$WORK" "$OUT" "$E2E_ARGS" <<'PY'
+import json, re, sys
+work, out, e2e_args = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(f"{work}/ab.json") as f:
+    ab = json.load(f)
+def events(path):
+    with open(path) as f:
+        return int(re.search(r"events executed: (\d+)", f.read()).group(1))
+lazy, tick = events(f"{work}/lazy.out"), events(f"{work}/tick.out")
+# The pairing that matters: the baseline tree's per-tick sampler against the
+# new tree's segment-lazy sampler at the same rig count and rate.
+lazy_vs_tick = {}
+for name, row in ab["micro"].items():
+    if name.startswith("BM_RigSegmentLazy/"):
+        args = name.split("/", 1)[1]
+        ref = ab["micro"].get(f"BM_RigPerTick/{args}")
+        if ref and ref.get("baseline_ns"):
+            rigs, period_us = args.split("/")
+            lazy_vs_tick[f"{rigs} rigs, {period_us} us period, 1 s"] = {
+                "per_tick_baseline_ns": ref["baseline_ns"],
+                "segment_lazy_ns": row["new_ns"],
+                "speedup": round(ref["baseline_ns"] / row["new_ns"], 2),
+            }
+result = {
+    "bench": f"bench_fleet_scenario {e2e_args}",
+    "contract": "segment-lazy rig output is byte-identical to the per-tick "
+                "sampler (CSV cmp above, mode-matrix test, parity suite)",
+    "micro": ab["micro"],
+    "micro_lazy_vs_per_tick": lazy_vs_tick,
+    "end_to_end": ab["end_to_end"],
+    "events": {
+        "per_tick": tick,
+        "segment_lazy": lazy,
+        "removed": tick - lazy,
+        "reduction": round(1.0 - lazy / tick, 4),
+    },
+}
+with open(out, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"\nevents: per-tick {tick}, segment-lazy {lazy} "
+      f"({100 * (1 - lazy / tick):.1f}% removed)")
+print(f"wrote {out}")
+PY
+  exit 0
+fi
 
 if [ "${1:-}" = "fleet-sweep" ]; then
   DEVICES="${AB_FLEET_DEVICES:-64 256 1000}"
@@ -144,6 +239,11 @@ cp "$REPO/bench/$BENCH.cpp" "$WT/bench/"
 if ! grep -q "pas_add_bench($BENCH " "$WT/bench/CMakeLists.txt"; then
   echo "pas_add_bench($BENCH $AB_LIBS)" >> "$WT/bench/CMakeLists.txt"
 fi
+# Extra sources to ship alongside (e.g. an e2e scenario whose current form
+# both trees should run); each must also compile against both APIs.
+for f in ${AB_COPY_EXTRA:-}; do
+  cp "$REPO/bench/$f" "$WT/bench/"
+done
 
 build() { # build <src-dir> — configure+build RelWithDebInfo into <src-dir>/build-ab
   cmake -S "$1" -B "$1/build-ab" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null

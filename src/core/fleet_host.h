@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -128,6 +129,10 @@ class FleetHost {
   // Advances the idle fleet by `dt` (drain between budget steps).
   virtual void advance(TimeNs dt) = 0;
   virtual TimeNs now() const = 0;
+  // Total simulator events fired across the fleet so far (summed over shard
+  // simulators). Perf accounting: the rig-sweep A/B reports how many events
+  // segment-lazy sampling removed from the kernel.
+  virtual std::uint64_t executed_events() const = 0;
 
   // --- measurement ---
   virtual void start_rigs() = 0;

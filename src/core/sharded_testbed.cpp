@@ -122,8 +122,9 @@ void ShardedTestbed::run_jobs() {
   // timeline. Shards finish at different clocks.
   for_each_shard([this](std::size_t k) { shards_[k]->run_jobs(); });
   // Resynchronize: every shard coasts forward to the latest finisher, so the
-  // fleet leaves the barrier with one common clock (rigs keep ticking during
-  // the coast, which is what keeps cross-shard traces aligned).
+  // fleet leaves the barrier with one common clock (rigs keep accounting
+  // samples through the coast — segment-lazy rigs materialize them at the
+  // shard's advance() — which is what keeps cross-shard traces aligned).
   TimeNs latest = now_;
   for (const auto& shard : shards_) latest = std::max(latest, shard->now());
   for_each_shard([this, latest](std::size_t k) {
@@ -149,6 +150,12 @@ bool ShardedTestbed::run_epoch(TimeNs until) {
 void ShardedTestbed::advance(TimeNs dt) {
   PAS_CHECK(dt >= 0);
   run_epoch(now_ + dt);
+}
+
+std::uint64_t ShardedTestbed::executed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->executed_events();
+  return total;
 }
 
 bool ShardedTestbed::run_until(TimeNs target, TimeNs max_epoch,

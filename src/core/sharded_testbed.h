@@ -86,6 +86,8 @@ class ShardedTestbed final : public FleetHost {
   bool run_epoch(TimeNs until) override;
   void advance(TimeNs dt) override;
   TimeNs now() const override { return now_; }
+  // Sum over the K shard simulators.
+  std::uint64_t executed_events() const override;
 
   // Coordinator loop: advances the fleet to `target` in epochs no longer
   // than `max_epoch`, invoking `at_barrier` (when non-null) at every barrier

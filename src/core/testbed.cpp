@@ -9,11 +9,13 @@ namespace pas::core {
 std::size_t Testbed::add_device(devices::DeviceId id, std::uint64_t seed) {
   devices_.push_back(
       std::make_unique<devices::DeviceBundle>(devices::make_device(sim_, id, seed)));
+  const std::size_t index = devices_.size() - 1;
+  sum_cursor_.push_back(0);
   if (trace_mode_ == TraceMode::kStreamingSum) {
     devices_.back()->rig->set_sample_sink(
-        [this](TimeNs t, Watts w) { sum_sample(t, w); });
+        [this, index](TimeNs t, Watts w) { sum_sample(index, t, w); });
   }
-  return devices_.size() - 1;
+  return index;
 }
 
 std::size_t Testbed::index_of(const sim::BlockDevice* dev) const {
@@ -26,15 +28,16 @@ std::size_t Testbed::index_of(const sim::BlockDevice* dev) const {
 
 void Testbed::set_trace_mode(TraceMode mode) {
   if (mode == trace_mode_) return;
-  PAS_CHECK_MSG(fleet_sum_.empty() && pending_count_ == 0,
+  PAS_CHECK_MSG(fleet_sum_.empty(),
                 "switch trace modes at a phase boundary (after take_fleet_trace)");
-  for (auto& d : devices_) {
-    PAS_CHECK_MSG(!d->rig->running() && d->rig->trace().empty(),
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    power::MeasurementRig& rig = *devices_[d]->rig;
+    PAS_CHECK_MSG(!rig.running() && rig.trace().empty(),
                   "switch trace modes while the rigs are stopped and empty");
     if (mode == TraceMode::kStreamingSum) {
-      d->rig->set_sample_sink([this](TimeNs t, Watts w) { sum_sample(t, w); });
+      rig.set_sample_sink([this, d](TimeNs t, Watts w) { sum_sample(d, t, w); });
     } else {
-      d->rig->set_sample_sink(nullptr);
+      rig.set_sample_sink(nullptr);
     }
   }
   trace_mode_ = mode;
@@ -95,17 +98,25 @@ std::vector<iogen::IoEngine*> Testbed::start_pending_jobs() {
 void Testbed::run_jobs() {
   const std::vector<iogen::IoEngine*> engines = start_pending_jobs();
   iogen::drive(sim_, engines);
+  materialize_rigs();
 }
 
 bool Testbed::run_epoch(TimeNs until) {
   PAS_CHECK(until >= sim_.now());
   const std::vector<iogen::IoEngine*> engines = start_pending_jobs();
-  return iogen::drive_until(sim_, engines, until);
+  const bool done = iogen::drive_until(sim_, engines, until);
+  materialize_rigs();
+  return done;
 }
 
 void Testbed::advance(TimeNs dt) {
   PAS_CHECK(dt >= 0);
   sim_.run_until(sim_.now() + dt);
+  materialize_rigs();
+}
+
+void Testbed::materialize_rigs() {
+  for (auto& d : devices_) d->rig->materialize();
 }
 
 void Testbed::start_rigs() {
@@ -122,10 +133,16 @@ Watts Testbed::measured_power() const {
   return total;
 }
 
-power::PowerTrace Testbed::fleet_trace() const {
+power::PowerTrace Testbed::fleet_trace() {
   PAS_CHECK(!devices_.empty());
   if (trace_mode_ == TraceMode::kStreamingSum) {
-    PAS_CHECK_MSG(pending_count_ == 0, "stop the rigs before reading the fleet trace");
+    // Materialize in device order so the cursor sums land left to right,
+    // then require every device to have contributed the same sample count.
+    materialize_rigs();
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      PAS_CHECK_MSG(sum_cursor_[d] == fleet_sum_.size(),
+                    "stop the rigs before reading the fleet trace");
+    }
     return fleet_sum_;
   }
   // Device-major accumulation: one copy of the first device's trace, then
@@ -144,7 +161,12 @@ power::PowerTrace Testbed::fleet_trace() const {
 power::PowerTrace Testbed::take_fleet_trace() {
   PAS_CHECK(!devices_.empty());
   if (trace_mode_ == TraceMode::kStreamingSum) {
-    PAS_CHECK_MSG(pending_count_ == 0, "stop the rigs before taking the fleet trace");
+    materialize_rigs();
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      PAS_CHECK_MSG(sum_cursor_[d] == fleet_sum_.size(),
+                    "stop the rigs before taking the fleet trace");
+      sum_cursor_[d] = 0;
+    }
     power::PowerTrace out = std::move(fleet_sum_);
     fleet_sum_ = power::PowerTrace{};
     return out;
@@ -162,19 +184,16 @@ power::PowerTrace Testbed::take_fleet_trace() {
   return fleet;
 }
 
-void Testbed::sum_sample(TimeNs t, Watts w) {
-  if (pending_count_ == 0) {
-    pending_t_ = t;
-    pending_w_ = w;
+void Testbed::sum_sample(std::size_t device, TimeNs t, Watts w) {
+  std::size_t& cursor = sum_cursor_[device];
+  if (cursor == fleet_sum_.size()) {
+    fleet_sum_.add(t, w);
   } else {
-    PAS_CHECK_MSG(t == pending_t_,
+    PAS_CHECK_MSG(cursor < fleet_sum_.size() && fleet_sum_.time_at(cursor) == t,
                   "per-device rig samples are misaligned; start the rigs together");
-    pending_w_ += w;
+    fleet_sum_.accumulate_at(cursor, w);
   }
-  if (++pending_count_ == devices_.size()) {
-    fleet_sum_.add(pending_t_, pending_w_);
-    pending_count_ = 0;
-  }
+  ++cursor;
 }
 
 FleetAdapter::FleetAdapter(FleetHost& host, std::vector<FleetDeviceOptions> options,

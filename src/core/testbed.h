@@ -88,6 +88,7 @@ class Testbed final : public FleetHost {
   // now() + dt.
   void advance(TimeNs dt) override;
   TimeNs now() const override { return sim_.now(); }
+  std::uint64_t executed_events() const override { return sim_.executed_events(); }
 
   // --- measurement ---
   void start_rigs() override;
@@ -96,8 +97,9 @@ class Testbed final : public FleetHost {
   Watts measured_power() const override;
   // The fleet's measured power trace: the pointwise sum of the per-device
   // rig traces. Requires all rigs started together (one shared 1 kHz clock),
-  // so samples align; aborts on mismatched traces.
-  power::PowerTrace fleet_trace() const;
+  // so samples align; aborts on mismatched traces. Non-const: segment-lazy
+  // rigs materialize their elapsed samples into the accumulators first.
+  power::PowerTrace fleet_trace();
   // fleet_trace(), then resets the accumulation (phase boundary). The
   // testbed remains fully usable afterwards: every rig is left with a valid
   // empty trace (and the fleet-sum accumulator re-armed, in kStreamingSum),
@@ -115,11 +117,22 @@ class Testbed final : public FleetHost {
   // Engine construction + start for every pending job, in job order; returns
   // all engines (the drive set).
   std::vector<iogen::IoEngine*> start_pending_jobs();
-  // kStreamingSum sink target: one call per rig per tick, in device order
-  // (rigs started together tick in start order at equal timestamps), so the
-  // running sum accumulates device 0 + 1 + 2 + ... — the same left-to-right
-  // order accumulate_aligned uses, keeping both modes bit-identical.
-  void sum_sample(TimeNs t, Watts w);
+  // Epoch-boundary materialization: every rig converts its elapsed ADC ticks
+  // in device order. Keeps per-rig pending buffers bounded by one epoch, and
+  // on a sharded host runs inside the shard's worker thread (all state is
+  // shard-local). Called at the end of run_jobs/run_epoch/advance.
+  void materialize_rigs();
+  // kStreamingSum sink target for device `device`. Arrival order differs by
+  // sampler: segment-lazy rigs deliver device-major batches (all of device
+  // 0's elapsed ticks, then device 1's, ... at each materialization); the
+  // per-tick reference delivers sample-major rounds (every device at tick k,
+  // then k+1). A per-device cursor into fleet_sum_ handles both: the first
+  // device to reach an index appends (always device 0 — it flushes first in
+  // a batch, and rigs tick in start order live), later devices add in place
+  // — so every sample is summed device 0 + 1 + 2 + ..., the same
+  // left-to-right order accumulate_aligned uses, and both trace modes AND
+  // both samplers stay bit-identical.
+  void sum_sample(std::size_t device, TimeNs t, Watts w);
 
   sim::Simulator sim_;
   std::vector<std::unique_ptr<devices::DeviceBundle>> devices_;
@@ -129,9 +142,9 @@ class Testbed final : public FleetHost {
 
   TraceMode trace_mode_ = TraceMode::kFullTraces;
   power::PowerTrace fleet_sum_;   // kStreamingSum: the one retained trace
-  TimeNs pending_t_ = 0;          // tick being summed across the fleet
-  Watts pending_w_ = 0.0;
-  std::size_t pending_count_ = 0;
+  // Per-device write cursor into fleet_sum_: samples contributed since the
+  // last take_fleet_trace().
+  std::vector<std::size_t> sum_cursor_;
 };
 
 // Per-device planning inputs for a live fleet: the measured configuration

@@ -1,5 +1,7 @@
 #include "devices/specs.h"
 
+#include <cstdlib>
+
 #include "common/check.h"
 
 namespace pas::devices {
@@ -229,6 +231,14 @@ double rail_voltage(DeviceId id) {
 power::RigConfig rig_for(DeviceId id) {
   power::RigConfig rc;
   rc.rail_voltage_v = rail_voltage(id);
+  // A/B escape hatch: PAS_RIG_EVENT_DRIVEN=1 re-rigs every fleet with the
+  // per-tick reference sampler, so scripts/bench_ab.sh rig-sweep can compare
+  // event counts and output bytes from ONE binary.
+  static const bool event_driven = [] {
+    const char* env = std::getenv("PAS_RIG_EVENT_DRIVEN");
+    return env != nullptr && env[0] == '1';
+  }();
+  rc.event_driven = event_driven;
   return rc;
 }
 

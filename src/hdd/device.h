@@ -59,6 +59,10 @@ class HddDevice : public sim::BlockDevice, public sim::PowerManageable {
   void submit(const sim::IoRequest& req, sim::IoCallback done) override;
   Watts instantaneous_power() const override { return meter_.power(); }
   Joules consumed_energy() const override { return meter_.energy_at(sim_.now()); }
+  sim::PowerSegment power_segment() const override { return meter_.segment(); }
+  void set_power_observer(sim::PowerObserver* observer) override {
+    meter_.set_observer(observer);
+  }
 
   // --- sim::PowerManageable ---
   bool supports_standby() const override { return true; }

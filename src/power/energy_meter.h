@@ -3,10 +3,17 @@
 // Device models update their draw through set_power() whenever a component
 // changes state; energy_at() integrates the signal exactly. This is the
 // ground truth the sampled measurement rig is validated against.
+//
+// The meter doubles as the publication point of the device's segment stream
+// (sim/power_signal.h): an attached PowerObserver sees the post-update state
+// of EVERY set_power call — same-value writes included, because each call
+// advances the energy accumulator by one FP add and observers that mirror
+// the counter must replay the adds one for one.
 #pragma once
 
 #include "common/check.h"
 #include "common/units.h"
+#include "sim/power_signal.h"
 
 namespace pas::power {
 
@@ -23,6 +30,7 @@ class EnergyMeter {
     energy_ += power_ * to_seconds(now - last_update_);
     last_update_ = now;
     power_ = w;
+    if (observer_ != nullptr) observer_->on_power_update(segment());
   }
 
   Watts power() const { return power_; }
@@ -32,10 +40,26 @@ class EnergyMeter {
     return energy_ + power_ * to_seconds(now - last_update_);
   }
 
+  // The open segment: energy_at(t) == energy_before + power * (t - since)
+  // for any t inside it, on exactly these operands.
+  sim::PowerSegment segment() const {
+    return sim::PowerSegment{last_update_, power_, energy_};
+  }
+
+  // One observer at a time (nullptr detaches): two independent mirrors of
+  // one signal is almost certainly a wiring bug, so replacing a live
+  // observer with a different one aborts.
+  void set_observer(sim::PowerObserver* observer) {
+    PAS_CHECK_MSG(observer == nullptr || observer_ == nullptr || observer_ == observer,
+                  "meter already has a different power observer");
+    observer_ = observer;
+  }
+
  private:
   TimeNs last_update_ = 0;
   Watts power_ = 0.0;
   Joules energy_ = 0.0;
+  sim::PowerObserver* observer_ = nullptr;
 };
 
 }  // namespace pas::power

@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/check.h"
 
 namespace pas::power {
 
-MeasurementRig::MeasurementRig(sim::Simulator& sim, const sim::BlockDevice& device,
+MeasurementRig::MeasurementRig(sim::Simulator& sim, sim::BlockDevice& device,
                                RigConfig config, std::uint64_t noise_seed)
     : sim_(sim),
       device_(device),
@@ -43,51 +44,154 @@ MeasurementRig::MeasurementRig(sim::Simulator& sim, const sim::BlockDevice& devi
   }
 }
 
+MeasurementRig::~MeasurementRig() {
+  // Detach without materializing: pending samples die with the trace they
+  // would have landed in, and a sink may already be gone.
+  if (started_ && !config_.event_driven) device_.set_power_observer(nullptr);
+}
+
+void MeasurementRig::fail(const char* what) const {
+  const std::string msg = "rig on device '" + device_.name() + "': " + what;
+  PAS_CHECK_MSG(false, msg.c_str());
+}
+
 void MeasurementRig::start() {
   if (started_) return;
   started_ = true;
   last_energy_ = device_.consumed_energy();
   last_sample_time_ = sim_.now();
-  task_.start();
+  if (config_.event_driven) {
+    task_.start();
+    return;
+  }
+  // Snapshot the meter's exact open segment, then mirror every update from
+  // here on. The first tick is one period out, as the periodic path's arm().
+  seg_ = device_.power_segment();
+  next_tick_ = sim_.now() + config_.sample_period;
+  device_.set_power_observer(this);
 }
 
 void MeasurementRig::stop() {
+  if (started_ && !config_.event_driven) {
+    // A tick landing exactly on now() belongs to this run: the periodic path
+    // fires it before the caller regains control and can stop the rig.
+    materialize();
+    device_.set_power_observer(nullptr);
+  }
   task_.stop();
   started_ = false;
 }
 
+void MeasurementRig::on_power_update(const sim::PowerSegment& seg) {
+  // Ticks strictly before the update were taken under the closing segment.
+  // A tick exactly at seg.since stays pending: the energy expression is
+  // bit-identical under either segment (the meter advanced its accumulator
+  // with exactly the closing segment's arithmetic), and the instantaneous
+  // convention is "last level set at or before the tick".
+  while (next_tick_ < seg.since) push_tick();
+  seg_ = seg;
+}
+
+void MeasurementRig::push_tick() {
+  const TimeNs now = next_tick_;
+  double true_power;
+  if (config_.integrating) {
+    // Same operands the live tick's device_.consumed_energy() produced:
+    // the meter's post-update state is mirrored in seg_.
+    const Joules energy = seg_.energy_before + seg_.power * to_seconds(now - seg_.since);
+    const TimeNs dt = now - last_sample_time_;
+    PAS_CHECK(dt > 0);
+    true_power = (energy - last_energy_) / to_seconds(dt);
+    last_energy_ = energy;
+    last_sample_time_ = now;
+  } else {
+    true_power = seg_.power;
+  }
+  if (pending_raw_.empty()) pending_first_t_ = now;
+  pending_raw_.push_back(true_power);
+  next_tick_ += config_.sample_period;
+}
+
+void MeasurementRig::materialize() {
+  if (started_ && !config_.event_driven) {
+    const TimeNs now = sim_.now();
+    while (next_tick_ <= now) push_tick();
+  }
+  flush_pending();
+}
+
+void MeasurementRig::flush_pending() {
+  if (pending_raw_.empty()) return;
+  const TimeNs period = config_.sample_period;
+  const std::size_t n = pending_raw_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Exact integer grid arithmetic: the i-th pending tick's timestamp.
+    const TimeNs t = pending_first_t_ + static_cast<TimeNs>(i) * period;
+    const Watts measured = measure_once(pending_raw_[i]);
+    // Retention: the trace is the default; a sink and/or streaming stats
+    // replace it (rack-scale modes — no per-device trace is kept). Same
+    // dispatch, same order, as the per-tick reference path.
+    if (sink_) sink_(t, measured);
+    if (stats_ != nullptr) {
+      stats_->add(t, measured);
+    } else if (!sink_) {
+      trace_.add(t, measured);
+    }
+  }
+  samples_emitted_ += n;
+  pending_raw_.clear();
+}
+
+const PowerTrace& MeasurementRig::trace() const {
+  // Logically const: which samples exist depends only on now() and the
+  // segment history, not on when the batch loop runs.
+  const_cast<MeasurementRig*>(this)->materialize();
+  return trace_;
+}
+
 PowerTrace MeasurementRig::take_trace() {
+  materialize();
   PowerTrace out = std::move(trace_);
   trace_ = PowerTrace{};
   return out;
 }
 
 void MeasurementRig::set_sample_sink(SampleSink sink) {
-  PAS_CHECK_MSG(!started_, "configure the sink while the rig is stopped");
+  if (started_) fail("configure the sink while the rig is stopped");
   sink_ = std::move(sink);
 }
 
 void MeasurementRig::set_sample_period(TimeNs period) {
   PAS_CHECK(period > 0);
-  PAS_CHECK_MSG(!started_ && trace_.empty() && (stats_ == nullptr || stats_->count() == 0),
-                "re-time the ADC before any sample is taken");
+  // Lifetime precondition, across EVERY retention mode: a sample already
+  // handed to a sink or folded into streaming stats is as immutable as one
+  // retained in the trace, so re-timing after any of them would silently
+  // bend the grid under the consumer.
+  if (started_) fail("re-time the ADC while the rig is stopped");
+  if (samples_emitted_ != 0 || !pending_raw_.empty() || !trace_.empty() ||
+      (stats_ != nullptr && stats_->count() != 0)) {
+    fail("re-time the ADC before any sample is taken (samples already "
+         "dispatched to the trace, sink, or streaming stats)");
+  }
   config_.sample_period = period;
   task_.set_period(period);
 }
 
 void MeasurementRig::enable_streaming(TimeNs window) {
-  PAS_CHECK_MSG(!started_, "enable streaming while the rig is stopped");
-  PAS_CHECK_MSG(trace_.empty(), "streaming cannot start mid-trace");
+  if (started_) fail("enable streaming while the rig is stopped");
+  if (!trace_.empty()) fail("streaming cannot start mid-trace");
   stats_ = std::make_unique<StreamingTraceStats>(window);
 }
 
 const StreamingTraceStats& MeasurementRig::streaming_stats() const {
-  PAS_CHECK_MSG(stats_ != nullptr, "rig is not in streaming_only mode");
+  if (stats_ == nullptr) fail("rig is not in streaming_only mode");
+  const_cast<MeasurementRig*>(this)->materialize();
   return *stats_;
 }
 
 TraceSummary MeasurementRig::take_streaming_summary() {
-  PAS_CHECK_MSG(stats_ != nullptr, "rig is not in streaming_only mode");
+  if (stats_ == nullptr) fail("rig is not in streaming_only mode");
+  materialize();
   TraceSummary out = stats_->summary();
   stats_->reset();
   return out;
@@ -113,6 +217,10 @@ Watts MeasurementRig::measure_once(Watts true_power) {
   return std::max(0.0, est_current_a * config_.rail_voltage_v);
 }
 
+// The per-tick reference sampler (config.event_driven). This is the retired
+// hot path, kept verbatim: the matrix test drives it against the lazy path
+// over every mode combination and asserts byte-identical output, and the
+// rig-sweep A/B re-rigs whole fleets with it to count events.
 void MeasurementRig::sample() {
   const TimeNs now = sim_.now();
   Watts true_power = 0.0;
@@ -127,14 +235,13 @@ void MeasurementRig::sample() {
     true_power = device_.instantaneous_power();
   }
   const Watts measured = measure_once(true_power);
-  // Retention: the trace is the default; a sink and/or streaming stats
-  // replace it (rack-scale modes — no per-device trace is kept).
   if (sink_) sink_(now, measured);
   if (stats_ != nullptr) {
     stats_->add(now, measured);
   } else if (!sink_) {
     trace_.add(now, measured);
   }
+  ++samples_emitted_;
 }
 
 }  // namespace pas::power

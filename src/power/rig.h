@@ -9,17 +9,38 @@
 // ADC quantizes at finite resolution and sample rate. Reconstruction uses
 // the *nominal* chain constants plus a calibration pass, as the physical
 // rig does; residual systematic error stays below 1% (validated in tests).
+//
+// Sampling is SEGMENT-LAZY (DESIGN.md section 13): the rig schedules no
+// simulator events. It mirrors the device's piecewise-constant power signal
+// through the PowerObserver hook (sim/power_signal.h) — each mirror update
+// first converts any ADC ticks that elapsed under the closing segment into
+// raw true-power values (exact per-segment energy arithmetic, identical to
+// what a live tick would have read) — and defers the expensive measurement
+// chain (two gaussian draws, quantization) plus retention dispatch to
+// materialize(), which replays the pending ticks in one batch loop in exact
+// per-sample order. Because the noise RNG is drawn in the same order and the
+// energy expressions use the same operands, every retention mode is
+// bit-identical to the retired per-tick sampler; config.event_driven keeps
+// that per-tick reference implementation alive for the parity matrix test
+// and for A/B event-count measurements (scripts/bench_ab.sh rig-sweep).
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
 #include "power/streaming.h"
 #include "power/trace.h"
 #include "sim/block_device.h"
+#include "sim/power_signal.h"
 #include "sim/simulator.h"
+
+// Feature-test macro for A/B tooling: bench sources compiled against a
+// pre-segment-lazy tree (scripts/bench_ab.sh baseline worktrees) gate their
+// new-API cases on this.
+#define PAS_RIG_SEGMENT_LAZY 1
 
 namespace pas::power {
 
@@ -47,19 +68,35 @@ struct RigConfig {
   // Two-point calibration against known loads removes offset and most gain
   // error, as performed on the physical rig before each experiment.
   bool calibrated = true;
+  // Reference mode: sample with one simulator event per ADC tick (the
+  // pre-segment-lazy implementation) instead of lazily. Kept for the
+  // bit-identity matrix test and the rig-sweep A/B (PAS_RIG_EVENT_DRIVEN=1
+  // re-rigs a whole fleet this way); everything else uses the lazy default.
+  bool event_driven = false;
 };
 
 // Samples one device. Construct, then start(); samples accumulate in trace().
-class MeasurementRig {
+class MeasurementRig : private sim::PowerObserver {
  public:
-  MeasurementRig(sim::Simulator& sim, const sim::BlockDevice& device, RigConfig config,
+  MeasurementRig(sim::Simulator& sim, sim::BlockDevice& device, RigConfig config,
                  std::uint64_t noise_seed);
+  ~MeasurementRig() override;
 
   void start();
   void stop();
   bool running() const { return started_; }
 
-  const PowerTrace& trace() const { return trace_; }
+  // Converts every ADC tick elapsed up to now() into finished samples
+  // (measurement chain + retention dispatch), in one batch loop. Called
+  // implicitly by stop() and by every read accessor; the fleet hosts also
+  // call it at epoch boundaries so pending work is bounded by one epoch and
+  // runs on the shard's worker thread. No-op when stopped, event-driven, or
+  // already caught up.
+  void materialize();
+
+  // Reads materialize first (logically const: the samples exist as of now()
+  // regardless of when the batch loop runs — see DESIGN.md section 13).
+  const PowerTrace& trace() const;
   PowerTrace take_trace();
 
   // --- rack-scale retention modes ---
@@ -75,7 +112,8 @@ class MeasurementRig {
   void set_sample_sink(SampleSink sink);
   // Re-times the ADC tick (rack scenarios decimate 1 kHz -> 100 Hz to keep a
   // 1 000-rig fleet tractable; the window-average math is rate-independent).
-  // Only while stopped and before any sample has been taken.
+  // Only while stopped and before any sample has been taken — in ANY
+  // retention mode, sink dispatch included; the error names the rig.
   void set_sample_period(TimeNs period);
   // streaming_only mode: O(window)-memory running statistics replace the
   // trace. streaming_stats().summary() is bit-identical to
@@ -93,16 +131,31 @@ class MeasurementRig {
   Watts measure_once(Watts true_power);
 
  private:
+  // Per-tick reference path (config.event_driven): PeriodicTask callback.
   void sample();
 
+  // --- segment-lazy internals ---
+  // Mirror update: converts ticks strictly before seg.since under the
+  // closing segment, then adopts seg. A tick exactly at seg.since is left
+  // for a later update or materialize() — the energy expression is
+  // bit-identical under either segment (the meter's accumulator was updated
+  // with exactly the closing segment's arithmetic), and an instantaneous
+  // sample takes the LAST level set at or before the tick.
+  void on_power_update(const sim::PowerSegment& seg) override;
+  // Converts the tick at next_tick_ into a raw pending value under seg_.
+  void push_tick();
+  // Runs the measurement chain + retention dispatch over pending ticks.
+  void flush_pending();
+  [[noreturn]] void fail(const char* what) const;
+
   sim::Simulator& sim_;
-  const sim::BlockDevice& device_;
+  sim::BlockDevice& device_;
   RigConfig config_;
   Rng rng_;
   PowerTrace trace_;
   SampleSink sink_;                            // null: retain samples locally
   std::unique_ptr<StreamingTraceStats> stats_; // null: full-trace retention
-  sim::PeriodicTask task_;
+  sim::PeriodicTask task_;                     // armed only when event_driven
 
   // Actual (imperfect) chain constants, drawn once at construction.
   double actual_shunt_ohms_;
@@ -123,6 +176,15 @@ class MeasurementRig {
   Joules last_energy_ = 0.0;
   TimeNs last_sample_time_ = 0;
   bool started_ = false;
+
+  // Segment-lazy state: the mirrored open segment, the next tick to convert,
+  // and the raw true-power values of ticks converted but not yet measured
+  // (pending_raw_[i] belongs to pending_first_t_ + i * sample_period).
+  sim::PowerSegment seg_;
+  TimeNs next_tick_ = 0;
+  TimeNs pending_first_t_ = 0;
+  std::vector<double> pending_raw_;
+  std::uint64_t samples_emitted_ = 0;  // lifetime, across ALL retention modes
 };
 
 }  // namespace pas::power

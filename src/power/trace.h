@@ -109,6 +109,13 @@ class PowerTrace {
   // traces), not per sample. Used for fleet summation.
   void accumulate_aligned(const PowerTrace& other);
 
+  // Adds `w` into the existing sample at index `i` (caller has verified
+  // time_at(i) matches). The streaming-sum fleet accumulator lands each
+  // device's materialized batch this way: device 0 appends, devices 1..N-1
+  // add in place at a cursor, preserving the device-major left-to-right sum
+  // order that keeps both trace modes bit-identical.
+  void accumulate_at(std::size_t i, Watts w) { watts_[i] += w; }
+
   // Full distribution of sample values (violin plot input).
   SampleSet to_sample_set() const;
   DistributionSummary distribution() const;

@@ -10,7 +10,9 @@
 #include <functional>
 #include <string>
 
+#include "common/check.h"
 #include "common/units.h"
+#include "sim/power_signal.h"
 
 namespace pas::sim {
 
@@ -61,6 +63,28 @@ class BlockDevice {
   // the piecewise-constant power signal. Used by conservation tests to
   // validate the sampled measurement path.
   virtual Joules consumed_energy() const = 0;
+
+  // The meter's current segment (see sim/power_signal.h):
+  // consumed_energy() == power_segment() evaluated at now, bit for bit.
+  // Devices that can host a measurement rig override both methods (the real
+  // models delegate to their EnergyMeter); the defaults abort loudly so a
+  // rig attached to a device without a segment stream cannot silently
+  // produce wrong samples. Plain IO test doubles need not override.
+  virtual PowerSegment power_segment() const;
+
+  // Registers the single observer notified on every power update (nullptr
+  // detaches). The measurement rig attaches here while running; devices must
+  // abort if a second distinct observer tries to attach.
+  virtual void set_power_observer(PowerObserver* observer);
 };
+
+inline PowerSegment BlockDevice::power_segment() const {
+  PAS_CHECK_MSG(false, "device does not publish a power-segment stream");
+  return PowerSegment{};
+}
+
+inline void BlockDevice::set_power_observer(PowerObserver*) {
+  PAS_CHECK_MSG(false, "device does not publish a power-segment stream");
+}
 
 }  // namespace pas::sim

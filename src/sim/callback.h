@@ -65,6 +65,14 @@ class UniqueCallback {
     }
   }
 
+  // Relocating overload: an already-erased callback moves straight into the
+  // slot — no second layer of wrapping. Callers that take a UniqueCallback
+  // parameter (e.g. the FTL's Defer) hand it to the kernel through this.
+  void construct(UniqueCallback&& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) relocate_from(o);
+  }
+
   UniqueCallback(UniqueCallback&& o) noexcept : ops_(o.ops_) {
     if (ops_ != nullptr) {
       relocate_from(o);

@@ -1,0 +1,43 @@
+// The power signal a storage device exposes to observers, as a segment
+// stream instead of a sampled waveform.
+//
+// Device power is piecewise constant: it changes only when a component
+// changes state (link wake, NAND op start/finish, spindle state, ...), at
+// which point the device's EnergyMeter integrates the closed segment and
+// starts a new one. A PowerSegment is the meter's exact running state —
+// publishing it on every update lets an observer reconstruct the energy
+// counter bit-for-bit at ANY instant inside the open segment:
+//
+//   energy(t) = energy_before + power * to_seconds(t - since)
+//
+// which is literally the expression EnergyMeter::energy_at(t) evaluates, on
+// the same operands. The measurement rig leans on this to materialize ADC
+// samples lazily (power/rig.h): instead of scheduling a simulator event per
+// tick, it mirrors the segment stream and replays the elapsed ticks on
+// demand with identical arithmetic.
+//
+// Contract: the observer is notified on EVERY set_power call, including
+// writes of an unchanged value — the meter's energy accumulator advances by
+// a floating-point add on each call, and FP addition is not associative, so
+// skipping "no-op" updates would break the bit-identity of the mirror.
+#pragma once
+
+#include "common/units.h"
+
+namespace pas::sim {
+
+struct PowerSegment {
+  TimeNs since = 0;            // when the current level took effect
+  Watts power = 0.0;           // the current draw
+  Joules energy_before = 0.0;  // exact energy integrated up to `since`
+};
+
+class PowerObserver {
+ public:
+  virtual ~PowerObserver() = default;
+  // Called after the device's meter applied an update; `seg` is the meter's
+  // post-update state (seg.since == the update's timestamp).
+  virtual void on_power_update(const PowerSegment& seg) = 0;
+};
+
+}  // namespace pas::sim

@@ -20,7 +20,7 @@ SsdDevice::SsdDevice(sim::Simulator& sim, SsdConfig config, std::uint64_t seed)
   PAS_CHECK(config_.capacity_bytes % config_.sector_bytes == 0);
   ftl_ = std::make_unique<Ftl>(
       config_, [this](nand::NandOp op) { issue_nand(std::move(op)); },
-      [this](TimeNs delay, std::function<void()> fn) { sim_.schedule_after(delay, std::move(fn)); },
+      [this](TimeNs delay, sim::UniqueCallback fn) { sim_.schedule_after(delay, std::move(fn)); },
       rng_.fork());
   nand_.set_power_listener([this] { update_power(); });
   link_.set_busy_listener([this](bool) { update_power(); });

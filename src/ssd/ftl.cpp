@@ -47,8 +47,19 @@ Ftl::Ftl(const SsdConfig& config, IssueNand issue, Defer defer, Rng rng)
   PAS_CHECK_MSG(total_punits >= total_lpns_ + kHostReserveBlocks * units_per_block_,
                 "overprovisioning too small");
 
+  // The tables themselves (tens of MB per device: map, rmap, block bitmaps)
+  // are NOT built here — see ensure_tables(). A monitored fleet constructs
+  // hundreds of drives that may never see one IO; faulting in gigabytes of
+  // kUnmapped entries up front would dominate such runs.
+  total_free_blocks_ = total_blocks;
+}
+
+void Ftl::ensure_tables() {
+  if (tables_ready_) return;
+  tables_ready_ = true;
+  const std::uint64_t total_blocks = static_cast<std::uint64_t>(dies_) * blocks_per_die_;
   map_.assign(total_lpns_, kUnmapped);
-  rmap_.assign(total_punits, kUnmapped);
+  rmap_.assign(total_blocks * units_per_block_, kUnmapped);
   blocks_.resize(total_blocks);
   for (auto& b : blocks_) b.bitmap.assign((units_per_block_ + 63) / 64, 0);
   free_lists_.resize(static_cast<std::size_t>(dies_));
@@ -58,12 +69,11 @@ Ftl::Ftl(const SsdConfig& config, IssueNand issue, Defer defer, Rng rng)
           static_cast<std::uint32_t>(d) * blocks_per_die_ + i);
     }
   }
-  total_free_blocks_ = total_blocks;
 }
 
 bool Ftl::is_mapped(std::uint64_t lpn) const {
   PAS_CHECK(lpn < total_lpns_);
-  return map_[lpn] != kUnmapped;
+  return tables_ready_ && map_[lpn] != kUnmapped;
 }
 
 void Ftl::set_valid(std::uint32_t ppn, std::uint64_t lpn) {
@@ -133,6 +143,7 @@ void Ftl::write_units(std::vector<std::uint64_t> lpns, std::function<void()> don
   PAS_CHECK(!lpns.empty());
   PAS_CHECK(lpns.size() <= units_per_stripe_);
   PAS_CHECK(done != nullptr);
+  ensure_tables();
   // Preserve FIFO order with any writes already stalled on free space.
   if (!stalled_writes_.empty() || !try_write(lpns, done)) {
     stalled_writes_.emplace_back(std::move(lpns), std::move(done));
@@ -169,6 +180,7 @@ bool Ftl::try_write(const std::vector<std::uint64_t>& lpns, std::function<void()
 void Ftl::read_units(const std::vector<std::uint64_t>& lpns, std::function<void()> done) {
   PAS_CHECK(!lpns.empty());
   PAS_CHECK(done != nullptr);
+  ensure_tables();
   // Coalesce units by physical page; unmapped units optionally read from a
   // pseudo location (preconditioned-drive behaviour).
   std::unordered_map<std::uint64_t, std::pair<int, std::uint32_t>> pages;  // key -> (die, units)
@@ -395,6 +407,7 @@ void Ftl::drain_stalled() {
 }
 
 void Ftl::precondition_sequential() {
+  ensure_tables();
   for (std::uint64_t lpn = 0; lpn < total_lpns_; lpn += units_per_stripe_) {
     const std::uint32_t ppn_start = allocate_stripe(host_stream_, /*for_gc=*/false);
     PAS_CHECK(ppn_start != kUnmapped);

@@ -19,6 +19,7 @@
 
 #include "common/rng.h"
 #include "nand/array.h"
+#include "sim/callback.h"
 #include "ssd/config.h"
 
 namespace pas::ssd {
@@ -42,8 +43,10 @@ class Ftl {
  public:
   using IssueNand = std::function<void(nand::NandOp)>;
   // Schedules a callback after a simulated delay (provided by the device, so
-  // the FTL can pace lazy GC without holding a simulator reference).
-  using Defer = std::function<void(TimeNs, std::function<void()>)>;
+  // the FTL can pace lazy GC without holding a simulator reference). The
+  // callback is a sim::UniqueCallback so the device's trampoline hands it to
+  // the kernel's inline event slot without a std::function heap round-trip.
+  using Defer = std::function<void(TimeNs, sim::UniqueCallback)>;
 
   Ftl(const SsdConfig& config, IssueNand issue, Defer defer, Rng rng);
 
@@ -92,6 +95,12 @@ class Ftl {
     int rr = 0;
   };
 
+  // Builds the mapping tables on the first IO (write, read or precondition).
+  // The constructor only does geometry arithmetic: a fleet bench constructs
+  // hundreds of drives whose tables would otherwise dominate setup, and a
+  // drive that is merely monitored never needs them at all.
+  void ensure_tables();
+
   std::uint32_t block_of(std::uint32_t ppn) const { return ppn / units_per_block_; }
   int die_of_block(std::uint32_t blk) const {
     return static_cast<int>(blk / blocks_per_die_);
@@ -137,6 +146,7 @@ class Ftl {
   std::uint32_t blocks_per_die_ = 0;
   int dies_ = 0;
 
+  bool tables_ready_ = false;
   std::vector<std::uint32_t> map_;   // lpn -> ppn
   std::vector<std::uint32_t> rmap_;  // ppn -> lpn (valid only when bit set)
   std::vector<Block> blocks_;        // global block index = die*blocks_per_die+i

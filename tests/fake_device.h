@@ -35,6 +35,10 @@ class FakePowerDevice : public sim::BlockDevice {
 
   Watts instantaneous_power() const override { return meter_.power(); }
   Joules consumed_energy() const override { return meter_.energy_at(sim_.now()); }
+  sim::PowerSegment power_segment() const override { return meter_.segment(); }
+  void set_power_observer(sim::PowerObserver* observer) override {
+    meter_.set_observer(observer);
+  }
 
   int submitted() const { return submitted_; }
   int completed() const { return completed_; }

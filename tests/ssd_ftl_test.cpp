@@ -46,7 +46,7 @@ struct FtlHarness {
               }
               sim.schedule_after(microseconds(10), [done = std::move(op.done)] { done(); });
             },
-            [this](TimeNs d, std::function<void()> fn) {
+            [this](TimeNs d, sim::UniqueCallback fn) {
               sim.schedule_after(d, std::move(fn));
             },
             Rng(7)) {}
