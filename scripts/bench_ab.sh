@@ -57,6 +57,28 @@
 #   AB_RIG_E2E  override the e2e scenario args
 #               (default "--profile standby --devices 256 --shards 1
 #                --quick --seed 1")
+#
+# SSD-sweep mode (emits BENCH_ssd.json):
+#   scripts/bench_ab.sh ssd-sweep <baseline-ref> [rounds]
+#     The flat-datapath A/B, three measurements in one file:
+#       1. bench_micro_ssd OLD vs NEW (worktree protocol: the micro source is
+#          copied into the baseline tree, where the Flat cases compile out
+#          because the old ssd/device.h does not define PAS_SSD_FLAT_PATH —
+#          old Legacy cases vs new Legacy AND Flat cases, interleaved, min of
+#          rounds; every case carries an allocs_per_io counter). The new
+#          binary's Legacy and Flat groups run as separate process
+#          invocations: ~10k heap blocks live at the end of a Legacy case,
+#          and cases run later in a process measurably degrade from the
+#          accumulated heap/TLB state, which biased the flat-vs-seed pairing
+#          by ~15% when all 36 cases shared one process;
+#       2. fig4, fig9, and the 256-device diurnal fleet OLD vs NEW (wall time);
+#       3. fig4 from the NEW binary alone, flat datapath vs PAS_SSD_FLAT_PATH=0
+#          (same binary, runtime switch) with the CSV tables byte-compared to
+#          prove the two datapaths produce identical results.
+#   AB_SSD_FIG4   fig4 args  (default "--quick --jobs 1 --seed 1")
+#   AB_SSD_FIG9   fig9 args  (default "--quick --jobs 1 --seed 1")
+#   AB_SSD_FLEET  fleet args (default "--profile diurnal --devices 256
+#                 --shards 1 --quick --seed 1")
 set -euo pipefail
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
@@ -134,6 +156,165 @@ with open(out, "w") as f:
 print(f"\nevents: per-tick {tick}, segment-lazy {lazy} "
       f"({100 * (1 - lazy / tick):.1f}% removed)")
 print(f"wrote {out}")
+PY
+  exit 0
+fi
+
+if [ "${1:-}" = "ssd-sweep" ]; then
+  BASE_REF="${2:?usage: scripts/bench_ab.sh ssd-sweep <baseline-ref> [rounds]}"
+  ROUNDS="${3:-3}"
+  FIG4_ARGS="${AB_SSD_FIG4:---quick --jobs 1 --seed 1}"
+  FIG9_ARGS="${AB_SSD_FIG9:---quick --jobs 1 --seed 1}"
+  FLEET_ARGS="${AB_SSD_FLEET:---profile diurnal --devices 256 --shards 1 --quick --seed 1}"
+  OUT="${AB_OUT:-$REPO/BENCH_ssd.json}"
+  WORK="$(mktemp -d /tmp/pas-ssd.XXXXXX)"
+  WT="$WORK/baseline"
+  trap 'git -C "$REPO" worktree remove --force "$WT" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+  echo "== baseline worktree at $BASE_REF"
+  git -C "$REPO" worktree add --detach "$WT" "$BASE_REF" >/dev/null
+  cp "$REPO/bench/bench_micro_ssd.cpp" "$WT/bench/"
+  if ! grep -q "pas_add_bench(bench_micro_ssd " "$WT/bench/CMakeLists.txt"; then
+    echo "pas_add_bench(bench_micro_ssd pas_core benchmark::benchmark)" \
+        >> "$WT/bench/CMakeLists.txt"
+  fi
+
+  build_ssd() { # build_ssd <src-dir>
+    cmake -S "$1" -B "$1/build-ab" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    cmake --build "$1/build-ab" -j "$(nproc)" --target \
+        bench_micro_ssd bench_fig4_capping_throughput bench_fig9_qd_sweep \
+        bench_fleet_scenario >/dev/null
+  }
+  echo "== building OLD ($BASE_REF) and NEW (working tree)"
+  build_ssd "$WT"
+  build_ssd "$REPO"
+
+  wall_ms() {
+    local t0 t1
+    t0=$(date +%s%N)
+    "$@" >/dev/null 2>&1
+    t1=$(date +%s%N)
+    echo $(( (t1 - t0) / 1000000 ))
+  }
+
+  for r in $(seq 1 "$ROUNDS"); do
+    echo "== round $r/$ROUNDS"
+    # One process per (tree, datapath-group): heap state left behind by
+    # earlier cases skews later ones (see the mode comment above).
+    "$WT/build-ab/bench/bench_micro_ssd" --benchmark_format=json \
+        --benchmark_filter='Legacy' > "$WORK/old_legacy_$r.json" 2>/dev/null
+    "$REPO/build-ab/bench/bench_micro_ssd" --benchmark_format=json \
+        --benchmark_filter='Legacy' > "$WORK/new_legacy_$r.json" 2>/dev/null
+    "$REPO/build-ab/bench/bench_micro_ssd" --benchmark_format=json \
+        --benchmark_filter='Flat' > "$WORK/new_flat_$r.json" 2>/dev/null
+    # shellcheck disable=SC2086
+    wall_ms "$WT/build-ab/bench/bench_fig4_capping_throughput" $FIG4_ARGS \
+        > "$WORK/old_fig4_$r"
+    # shellcheck disable=SC2086
+    wall_ms "$REPO/build-ab/bench/bench_fig4_capping_throughput" $FIG4_ARGS \
+        > "$WORK/new_fig4_$r"
+    # shellcheck disable=SC2086
+    wall_ms "$WT/build-ab/bench/bench_fig9_qd_sweep" $FIG9_ARGS \
+        > "$WORK/old_fig9_$r"
+    # shellcheck disable=SC2086
+    wall_ms "$REPO/build-ab/bench/bench_fig9_qd_sweep" $FIG9_ARGS \
+        > "$WORK/new_fig9_$r"
+    # shellcheck disable=SC2086
+    wall_ms "$WT/build-ab/bench/bench_fleet_scenario" $FLEET_ARGS \
+        > "$WORK/old_fleet_$r"
+    # shellcheck disable=SC2086
+    wall_ms "$REPO/build-ab/bench/bench_fleet_scenario" $FLEET_ARGS \
+        > "$WORK/new_fleet_$r"
+  done
+
+  echo "== same-binary datapath parity (flat vs PAS_SSD_FLAT_PATH=0)"
+  # shellcheck disable=SC2086
+  "$REPO/build-ab/bench/bench_fig4_capping_throughput" $FIG4_ARGS \
+      --csv-dir "$WORK/flat" >/dev/null
+  # shellcheck disable=SC2086
+  PAS_SSD_FLAT_PATH=0 "$REPO/build-ab/bench/bench_fig4_capping_throughput" \
+      $FIG4_ARGS --csv-dir "$WORK/legacy" >/dev/null
+  for f in "$WORK/flat"/*; do
+    cmp "$f" "$WORK/legacy/$(basename "$f")"
+  done
+  echo "   fig4 tables byte-identical with the flat path on and off"
+
+  python3 - "$WORK" "$ROUNDS" "$OUT" "$BASE_REF" "$FIG4_ARGS" "$FIG9_ARGS" \
+      "$FLEET_ARGS" <<'PY'
+import json, sys
+work, rounds, out = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+base_ref, fig4_args, fig9_args, fleet_args = sys.argv[4:8]
+
+def mins(*prefixes):
+    best = {}
+    for prefix in prefixes:
+        for r in range(1, rounds + 1):
+            with open(f"{work}/{prefix}_{r}.json") as f:
+                for b in json.load(f)["benchmarks"]:
+                    t = b["real_time"]  # ns
+                    cur = best.get(b["name"])
+                    if cur is None or t < cur["ns"]:
+                        best[b["name"]] = {"ns": t,
+                                           "allocs_per_io": b.get("allocs_per_io")}
+    return best
+
+def e2e_min(prefix):
+    return min(int(open(f"{work}/{prefix}_{r}").read())
+               for r in range(1, rounds + 1))
+
+old, new = mins("old_legacy"), mins("new_legacy", "new_flat")
+micro = {}
+print(f"\n{'case':<26}{'old_ns':>12}{'new_ns':>12}{'speedup':>9}{'allocs/io':>11}")
+for name, row in new.items():
+    ref = old.get(name)
+    micro[name] = {
+        "baseline_ns": round(ref["ns"]) if ref else None,
+        "new_ns": round(row["ns"]),
+        "speedup": round(ref["ns"] / row["ns"], 2) if ref else None,
+        "allocs_per_io": row["allocs_per_io"],
+    }
+    alloc = "" if row["allocs_per_io"] is None else f"{row['allocs_per_io']:>11.4f}"
+    if ref:
+        print(f"{name:<26}{ref['ns']:>12.0f}{row['ns']:>12.0f}"
+              f"{ref['ns']/row['ns']:>8.2f}x{alloc}")
+    else:
+        print(f"{name:<26}{'(new API)':>12}{row['ns']:>12.0f}{'—':>9}{alloc}")
+
+# The pairing that matters: the seed tree's legacy datapath against the new
+# tree's flat datapath at the same queue depth and chunk size.
+flat_vs_seed = {}
+for name, row in new.items():
+    if "Flat/" in name:
+        kind, args = name.split("/", 1)
+        ref = old.get(name.replace("Flat/", "Legacy/"))
+        if ref:
+            qd, chunk = args.split("/")
+            flat_vs_seed[f"{kind.removeprefix('BM_Ssd')} qd{qd} {chunk}KiB"] = {
+                "seed_legacy_ns": round(ref["ns"]),
+                "flat_ns": round(row["ns"]),
+                "speedup": round(ref["ns"] / row["ns"], 2),
+            }
+
+e2e = {}
+for key, args in (("fig4", fig4_args), ("fig9", fig9_args), ("fleet", fleet_args)):
+    o, n = e2e_min(f"old_{key}"), e2e_min(f"new_{key}")
+    e2e[key] = {"args": args, "baseline_ms": o, "new_ms": n,
+                "speedup": round(o / n, 2)}
+    print(f"\n{key}: baseline {o} ms, new {n} ms, {o/n:.2f}x")
+
+result = {
+    "baseline_ref": base_ref,
+    "contract": "flat datapath output is byte-identical to the legacy path "
+                "(fig4 CSV cmp above, parity suite with PAS_SSD_FLAT_PATH=0, "
+                "dual-path tests)",
+    "micro": micro,
+    "micro_flat_vs_seed_legacy": flat_vs_seed,
+    "end_to_end": e2e,
+}
+with open(out, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"\nwrote {out}")
 PY
   exit 0
 fi

@@ -243,20 +243,33 @@ power::RigConfig rig_for(DeviceId id) {
 }
 
 std::unique_ptr<ssd::SsdDevice> make_ssd(DeviceId id, sim::Simulator& sim, std::uint64_t seed) {
+  ssd::SsdConfig c;
   switch (id) {
     case DeviceId::kSsd1:
-      return std::make_unique<ssd::SsdDevice>(sim, ssd1_pm9a3(), seed);
-    case DeviceId::kSsd2:
-      return std::make_unique<ssd::SsdDevice>(sim, ssd2_p5510(), seed);
-    case DeviceId::kSsd3:
-      return std::make_unique<ssd::SsdDevice>(sim, ssd3_p4510(), seed);
-    case DeviceId::kEvo860:
-      return std::make_unique<ssd::SsdDevice>(sim, evo860(), seed);
-    case DeviceId::kHdd:
+      c = ssd1_pm9a3();
       break;
+    case DeviceId::kSsd2:
+      c = ssd2_p5510();
+      break;
+    case DeviceId::kSsd3:
+      c = ssd3_p4510();
+      break;
+    case DeviceId::kEvo860:
+      c = evo860();
+      break;
+    case DeviceId::kHdd:
+      PAS_CHECK_MSG(false, "not an SSD");
+      return nullptr;
   }
-  PAS_CHECK_MSG(false, "not an SSD");
-  return nullptr;
+  // A/B escape hatch: PAS_SSD_FLAT_PATH=0 routes every spec-built SSD through
+  // the legacy per-IO closure chain, so scripts/bench_ab.sh ssd-sweep can
+  // byte-compare the two datapaths from ONE binary.
+  static const bool flat = [] {
+    const char* env = std::getenv("PAS_SSD_FLAT_PATH");
+    return env == nullptr || env[0] != '0';
+  }();
+  c.flat_datapath = flat;
+  return std::make_unique<ssd::SsdDevice>(sim, std::move(c), seed);
 }
 
 std::unique_ptr<hdd::HddDevice> make_hdd(sim::Simulator& sim, std::uint64_t seed) {

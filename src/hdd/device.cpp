@@ -203,7 +203,7 @@ TimeNs HddDevice::transfer_link_time(std::uint64_t bytes) const {
 
 // ---------- cache ----------
 
-void HddDevice::cache_admit(std::uint64_t bytes, std::function<void()> granted) {
+void HddDevice::cache_admit(std::uint64_t bytes, sim::UniqueCallback granted) {
   if (cache_waiters_.empty() && cache_used_ + bytes <= config_.cache_bytes) {
     cache_used_ += bytes;
     granted();
@@ -417,7 +417,7 @@ void HddDevice::begin_spin_up() {
   });
 }
 
-void HddDevice::on_spinning(std::function<void()> work) {
+void HddDevice::on_spinning(sim::UniqueCallback work) {
   // Any host command cancels a prior STANDBY IMMEDIATE (ATA standby is
   // one-shot): the drive wakes and stays active.
   standby_requested_ = false;

@@ -25,6 +25,7 @@
 #include "hdd/config.h"
 #include "power/energy_meter.h"
 #include "sim/block_device.h"
+#include "sim/callback.h"
 #include "sim/power_management.h"
 #include "sim/resources.h"
 #include "sim/simulator.h"
@@ -116,14 +117,14 @@ class HddDevice : public sim::BlockDevice, public sim::PowerManageable {
   void handle_flush(PendingOp op);
   void complete(PendingOp& op);
 
-  void cache_admit(std::uint64_t bytes, std::function<void()> granted);
+  void cache_admit(std::uint64_t bytes, sim::UniqueCallback granted);
   void cache_release(std::uint64_t bytes);
   void check_flush_waiters();
 
   void maybe_spin_down();
   void begin_spin_down();
   void begin_spin_up();
-  void on_spinning(std::function<void()> work);
+  void on_spinning(sim::UniqueCallback work);
 
   void set_phase(MediaPhase phase);
   void update_power();
@@ -137,7 +138,7 @@ class HddDevice : public sim::BlockDevice, public sim::PowerManageable {
 
   Spindle spindle_ = Spindle::kSpinning;
   bool standby_requested_ = false;
-  std::vector<std::function<void()>> spin_waiters_;
+  std::vector<sim::UniqueCallback> spin_waiters_;
 
   // Media service.
   bool mech_busy_ = false;
@@ -155,8 +156,8 @@ class HddDevice : public sim::BlockDevice, public sim::PowerManageable {
   std::uint64_t destage_offset_ = 0;
   TimeNs last_cache_admit_ = 0;
   bool wb_timer_armed_ = false;
-  std::deque<std::pair<std::uint64_t, std::function<void()>>> cache_waiters_;
-  std::vector<std::function<void()>> flush_waiters_;
+  std::deque<std::pair<std::uint64_t, sim::UniqueCallback>> cache_waiters_;
+  std::vector<sim::UniqueCallback> flush_waiters_;
 
   int host_inflight_ = 0;
 };

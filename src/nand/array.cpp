@@ -12,8 +12,10 @@ NandArray::NandArray(sim::Simulator& sim, const NandConfig& config, std::uint64_
   PAS_CHECK(config_.channels > 0);
   PAS_CHECK(config_.dies_per_channel > 0);
   PAS_CHECK(config_.channel_mib_s > 0.0);
-  dies_.resize(static_cast<std::size_t>(config_.total_dies()));
-  channels_.resize(static_cast<std::size_t>(config_.channels));
+  // Built whole rather than resize()d: Die/Channel hold deques of move-only
+  // callbacks, and vector::resize would need move_if_noexcept relocation.
+  dies_ = std::vector<Die>(static_cast<std::size_t>(config_.total_dies()));
+  channels_ = std::vector<Channel>(static_cast<std::size_t>(config_.channels));
 }
 
 Watts NandArray::jittered(Watts nominal) {
@@ -43,7 +45,7 @@ void NandArray::submit(NandOp op) {
   const int die_idx = op.die;
   if (op.priority && die.busy) {
     // Behind the in-flight op (front) but ahead of everything queued.
-    die.queue.insert(die.queue.begin() + 1, std::move(op));
+    die.queue.insert_second(std::move(op));
   } else {
     die.queue.push_back(std::move(op));
   }
@@ -129,7 +131,7 @@ void NandArray::set_die_draw(int die_idx, Watts w, bool /*busy*/) {
   recompute_power();
 }
 
-void NandArray::acquire_channel(int ch, std::function<void()> go) {
+void NandArray::acquire_channel(int ch, sim::UniqueCallback go) {
   auto& channel = channels_[static_cast<std::size_t>(ch)];
   if (channel.busy) {
     channel.waiters.push_back(std::move(go));

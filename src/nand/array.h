@@ -12,13 +12,14 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
 #include "nand/config.h"
+#include "sim/callback.h"
+#include "sim/ring_queue.h"
 #include "sim/simulator.h"
 
 namespace pas::nand {
@@ -32,7 +33,9 @@ struct NandOp {
   // Priority ops (GC reclaim) jump ahead of queued host ops on their die, as
   // firmware must reclaim space promptly even under host write floods.
   bool priority = false;
-  std::function<void()> done;    // fires when the op fully completes
+  // Fires when the op fully completes. Move-only with inline storage: ops
+  // carry their completion through the die/channel pipeline by relocation.
+  sim::UniqueCallback done;
 };
 
 class NandArray {
@@ -62,12 +65,12 @@ class NandArray {
 
  private:
   struct Die {
-    std::deque<NandOp> queue;
+    sim::RingQueue<NandOp> queue;
     bool busy = false;
     Watts draw = 0.0;
   };
   struct Channel {
-    std::deque<std::function<void()>> waiters;  // transfer-start continuations
+    sim::RingQueue<sim::UniqueCallback> waiters;  // transfer-start continuations
     bool busy = false;
   };
 
@@ -79,7 +82,7 @@ class NandArray {
   void start_next(int die_idx);
   void run_op(int die_idx);
   void set_die_draw(int die_idx, Watts w, bool busy);
-  void acquire_channel(int ch, std::function<void()> go);
+  void acquire_channel(int ch, sim::UniqueCallback go);
   void release_channel(int ch);
   void recompute_power();
 

@@ -7,11 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "common/check.h"
 #include "common/units.h"
+#include "sim/callback.h"
 #include "sim/power_signal.h"
 
 namespace pas::sim {
@@ -41,7 +41,14 @@ struct IoCompletion {
   TimeNs latency() const { return complete_time - submit_time; }
 };
 
-using IoCallback = std::function<void(const IoCompletion&)>;
+// Move-only with inline storage (sim/callback.h): a completion traverses the
+// device pipeline by relocation, never by wrapping in a fresh heap closure.
+// The 24-byte buffer keeps sizeof(IoCallback) at 32 — the footprint of the
+// std::function it replaced — so the legacy datapaths' per-stage captures
+// ({this, IoRequest, IoCallback, TimeNs} = 72 bytes) still ride inline in
+// the kernel's event slots; completion lambdas capturing more than 24 bytes
+// pay one heap allocation at submit, exactly as they did under std::function.
+using IoCallback = UniqueFunction<void(const IoCompletion&), 24>;
 
 class BlockDevice {
  public:

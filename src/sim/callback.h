@@ -1,15 +1,25 @@
-// Move-only type-erased `void()` callback with small-buffer optimisation.
+// Move-only type-erased callable with small-buffer optimisation.
 //
-// The discrete-event kernel stores one of these per scheduled event, inline
-// in its slab slot, so the common schedule/fire path never touches the heap.
-// The inline capacity is sized for the largest hot-path capture in the tree:
-// the per-IO continuation {this, IoRequest, IoCallback, TimeNs} that the SSD
-// and HDD device models reschedule at every pipeline stage (8 + 24 + 32 + 8 =
-// 72 bytes with libstdc++'s 32-byte std::function). Smaller captures — the
-// NandArray die/channel chains (32 B), moved-in std::function handoffs
-// (32 B), and bare [this] lambdas (8 B) — fit with room to spare. Callables
-// that are larger, over-aligned, or throwing-move fall back to a single heap
-// allocation, so arbitrary captures stay correct, just slower.
+// UniqueFunction<R(Args...), InlineBytes> is the tree's hot-path replacement
+// for std::function: the discrete-event kernel stores a UniqueCallback
+// (= UniqueFunction<void()>) per scheduled event, inline in its slab slot,
+// and the device models use the same template for IO completions
+// (sim::IoCallback), NAND op completions, resource-queue waiters and
+// governor admissions — so the common schedule/fire/complete path never
+// touches the heap.
+//
+// The inline capacity is per-instantiation because the sizes feed each
+// other: the largest hot-path capture in the tree is the per-IO continuation
+// {this, IoRequest, IoCallback, TimeNs} that the legacy device datapaths
+// reschedule at every pipeline stage, and it only fits the kernel slot if
+// IoCallback itself stays small. The default 72 bytes sizes the kernel slot
+// for exactly that capture (8 + 24 + 32 + 8 = 72 with the 32-byte
+// IoCallback); IoCallback uses a 24-byte buffer so its footprint matches the
+// libstdc++ std::function it replaced. Smaller captures — pooled-context
+// stages ({ctx*}, 8 B), the NandArray die/channel chains (32 B), bare [this]
+// lambdas (8 B) — fit with room to spare. Callables that are larger,
+// over-aligned, or throwing-move fall back to a single heap allocation, so
+// arbitrary captures stay correct, just slower.
 #pragma once
 
 #include <cstddef>
@@ -20,18 +30,22 @@
 
 namespace pas::sim {
 
-class UniqueCallback {
+template <typename Sig, std::size_t InlineBytes = 72>
+class UniqueFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class UniqueFunction<R(Args...), InlineBytes> {
  public:
-  static constexpr std::size_t kInlineBytes = 72;
+  static constexpr std::size_t kInlineBytes = InlineBytes;
   static constexpr std::size_t kInlineAlign = alignof(void*);
 
-  UniqueCallback() noexcept = default;
+  UniqueFunction() noexcept = default;
 
   template <typename F,
             typename Fn = std::remove_cv_t<std::remove_reference_t<F>>,
-            typename = std::enable_if_t<!std::is_same_v<Fn, UniqueCallback> &&
-                                        std::is_invocable_r_v<void, Fn&>>>
-  UniqueCallback(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+            typename = std::enable_if_t<!std::is_same_v<Fn, UniqueFunction> &&
+                                        std::is_invocable_r_v<R, Fn&, Args...>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
     emplace(std::forward<F>(f));
   }
 
@@ -40,8 +54,8 @@ class UniqueCallback {
   // this to build the capture in its slab slot with no intermediate moves.
   template <typename F,
             typename Fn = std::remove_cv_t<std::remove_reference_t<F>>,
-            typename = std::enable_if_t<!std::is_same_v<Fn, UniqueCallback> &&
-                                        std::is_invocable_r_v<void, Fn&>>>
+            typename = std::enable_if_t<!std::is_same_v<Fn, UniqueFunction> &&
+                                        std::is_invocable_r_v<R, Fn&, Args...>>>
   void emplace(F&& f) {
     reset();
     construct(std::forward<F>(f));
@@ -52,8 +66,8 @@ class UniqueCallback {
   // callback consumed by fire or cancel before it reached the free list.
   template <typename F,
             typename Fn = std::remove_cv_t<std::remove_reference_t<F>>,
-            typename = std::enable_if_t<!std::is_same_v<Fn, UniqueCallback> &&
-                                        std::is_invocable_r_v<void, Fn&>>>
+            typename = std::enable_if_t<!std::is_same_v<Fn, UniqueFunction> &&
+                                        std::is_invocable_r_v<R, Fn&, Args...>>>
   void construct(F&& f) {
     if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= kInlineAlign &&
                   std::is_nothrow_move_constructible_v<Fn>) {
@@ -65,21 +79,21 @@ class UniqueCallback {
     }
   }
 
-  // Relocating overload: an already-erased callback moves straight into the
-  // slot — no second layer of wrapping. Callers that take a UniqueCallback
+  // Relocating overload: an already-erased callable moves straight into the
+  // slot — no second layer of wrapping. Callers that take a UniqueFunction
   // parameter (e.g. the FTL's Defer) hand it to the kernel through this.
-  void construct(UniqueCallback&& o) noexcept {
+  void construct(UniqueFunction&& o) noexcept {
     ops_ = o.ops_;
     if (ops_ != nullptr) relocate_from(o);
   }
 
-  UniqueCallback(UniqueCallback&& o) noexcept : ops_(o.ops_) {
+  UniqueFunction(UniqueFunction&& o) noexcept : ops_(o.ops_) {
     if (ops_ != nullptr) {
       relocate_from(o);
     }
   }
 
-  UniqueCallback& operator=(UniqueCallback&& o) noexcept {
+  UniqueFunction& operator=(UniqueFunction&& o) noexcept {
     if (this != &o) {
       reset();
       ops_ = o.ops_;
@@ -90,10 +104,10 @@ class UniqueCallback {
     return *this;
   }
 
-  UniqueCallback(const UniqueCallback&) = delete;
-  UniqueCallback& operator=(const UniqueCallback&) = delete;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
 
-  ~UniqueCallback() { reset(); }
+  ~UniqueFunction() { reset(); }
 
   void reset() noexcept {
     if (ops_ != nullptr) {
@@ -104,15 +118,29 @@ class UniqueCallback {
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
-  void operator()() { ops_->invoke(buf_); }
+  // Const like std::function's: invoking does not re-seat the erased
+  // callable, and completion chains routinely call a captured-by-value
+  // continuation from a non-mutable lambda.
+  R operator()(Args... args) const {
+    return ops_->invoke(const_cast<unsigned char*>(buf_), std::forward<Args>(args)...);
+  }
 
   // Fire-path fusion: invokes the callable, then tears it down, in a single
   // indirect dispatch (invoke_destroy) instead of invoke + destroy. Leaves
-  // this callback empty.
-  void invoke_and_reset() {
+  // this callable empty.
+  R invoke_and_reset(Args... args) {
     const Ops* ops = ops_;
     ops_ = nullptr;
-    ops->invoke_destroy(buf_);
+    return ops->invoke_destroy(buf_, std::forward<Args>(args)...);
+  }
+
+  friend bool operator==(const UniqueFunction& f, std::nullptr_t) noexcept { return !f; }
+  friend bool operator==(std::nullptr_t, const UniqueFunction& f) noexcept { return !f; }
+  friend bool operator!=(const UniqueFunction& f, std::nullptr_t) noexcept {
+    return static_cast<bool>(f);
+  }
+  friend bool operator!=(std::nullptr_t, const UniqueFunction& f) noexcept {
+    return static_cast<bool>(f);
   }
 
  private:
@@ -121,15 +149,15 @@ class UniqueCallback {
   // majority of captures in this tree), so the hot move and teardown paths
   // are a predictable branch instead of an indirect call.
   struct Ops {
-    void (*invoke)(void*);
-    void (*invoke_destroy)(void*);  // invoke, then destroy, one dispatch
+    R (*invoke)(void*, Args&&...);
+    R (*invoke_destroy)(void*, Args&&...);  // invoke, then destroy, one dispatch
     // Move-constructs `dst` from `src` and destroys `src`.
     void (*relocate)(void* src, void* dst) noexcept;
     void (*destroy)(void*) noexcept;
     std::size_t size;  // bytes occupied in the buffer (for memcpy relocation)
   };
 
-  void relocate_from(UniqueCallback& o) noexcept {
+  void relocate_from(UniqueFunction& o) noexcept {
     if (ops_->relocate != nullptr) {
       ops_->relocate(o.buf_, buf_);
     } else {
@@ -141,11 +169,19 @@ class UniqueCallback {
   template <typename Fn>
   struct InlineOps {
     static Fn* get(void* p) noexcept { return std::launder(reinterpret_cast<Fn*>(p)); }
-    static void invoke(void* p) { (*get(p))(); }
-    static void invoke_destroy(void* p) {
+    static R invoke(void* p, Args&&... args) {
+      return (*get(p))(std::forward<Args>(args)...);
+    }
+    static R invoke_destroy(void* p, Args&&... args) {
       Fn* f = get(p);
-      (*f)();
-      f->~Fn();
+      if constexpr (std::is_void_v<R>) {
+        (*f)(std::forward<Args>(args)...);
+        f->~Fn();
+      } else {
+        R r = (*f)(std::forward<Args>(args)...);
+        f->~Fn();
+        return r;
+      }
     }
     static void relocate(void* src, void* dst) noexcept {
       Fn* s = get(src);
@@ -162,11 +198,19 @@ class UniqueCallback {
   template <typename Fn>
   struct HeapOps {
     static Fn*& get(void* p) noexcept { return *std::launder(reinterpret_cast<Fn**>(p)); }
-    static void invoke(void* p) { (*get(p))(); }
-    static void invoke_destroy(void* p) {
+    static R invoke(void* p, Args&&... args) {
+      return (*get(p))(std::forward<Args>(args)...);
+    }
+    static R invoke_destroy(void* p, Args&&... args) {
       Fn* f = get(p);
-      (*f)();
-      delete f;
+      if constexpr (std::is_void_v<R>) {
+        (*f)(std::forward<Args>(args)...);
+        delete f;
+      } else {
+        R r = (*f)(std::forward<Args>(args)...);
+        delete f;
+        return r;
+      }
     }
     static void destroy(void* p) noexcept { delete get(p); }
     // The payload is an owning raw pointer: memcpy relocation is always
@@ -177,5 +221,9 @@ class UniqueCallback {
   const Ops* ops_ = nullptr;
   alignas(kInlineAlign) unsigned char buf_[kInlineBytes];
 };
+
+// The kernel's event-slot callback type; the name predates the general
+// template and is used throughout the tree.
+using UniqueCallback = UniqueFunction<void()>;
 
 }  // namespace pas::sim

@@ -6,11 +6,12 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <functional>
 #include <utility>
 
 #include "common/check.h"
+#include "sim/callback.h"
+#include "sim/ring_queue.h"
 
 namespace pas::sim {
 
@@ -25,7 +26,7 @@ class SerialResource {
 
   // Runs `go` as soon as the resource is free (possibly immediately).
   // The holder must call release() when done.
-  void acquire(std::function<void()> go) {
+  void acquire(UniqueCallback go) {
     PAS_CHECK(go != nullptr);
     if (busy_) {
       waiters_.push_back(std::move(go));
@@ -50,7 +51,7 @@ class SerialResource {
 
  private:
   bool busy_ = false;
-  std::deque<std::function<void()>> waiters_;
+  RingQueue<UniqueCallback> waiters_;
   BusyListener on_busy_;
 };
 
@@ -66,7 +67,7 @@ class ResourcePool {
   int servers() const { return servers_; }
   std::size_t waiters() const { return waiters_.size(); }
 
-  void acquire(std::function<void()> go) {
+  void acquire(UniqueCallback go) {
     PAS_CHECK(go != nullptr);
     if (busy_ >= servers_) {
       waiters_.push_back(std::move(go));
@@ -92,7 +93,7 @@ class ResourcePool {
  private:
   int servers_;
   int busy_ = 0;
-  std::deque<std::function<void()>> waiters_;
+  RingQueue<UniqueCallback> waiters_;
   CountListener on_count_;
 };
 

@@ -16,7 +16,8 @@ SsdDevice::SsdDevice(sim::Simulator& sim, SsdConfig config, std::uint64_t seed)
       governor_(sim, [this] { return meter_.power() - nand_.instantaneous_power(); }),
       meter_(sim.now(), 0.0),
       cores_(config_.cmd_cores),
-      link_() {
+      link_(),
+      flat_(config_.flat_datapath) {
   PAS_CHECK(config_.capacity_bytes % config_.sector_bytes == 0);
   ftl_ = std::make_unique<Ftl>(
       config_, [this](nand::NandOp op) { issue_nand(std::move(op)); },
@@ -42,7 +43,7 @@ void SsdDevice::schedule_bg_activity() {
   sim_.schedule_after(std::max<TimeNs>(microseconds(100), delay), [this] {
     bg_timer_armed_ = false;
     const bool host_busy =
-        host_inflight_ > 0 || !destage_fifo_.empty() || inflight_programs_ > 0;
+        host_inflight_ > 0 || !destage_queue_empty() || inflight_programs_ > 0;
     if (!host_busy || alpm_ != AlpmState::kActive) return;
     const int dies = config_.nand.total_dies();
     for (int i = 0; i < config_.bg_burst_ops; ++i) {
@@ -144,24 +145,174 @@ void SsdDevice::submit(const sim::IoRequest& req, sim::IoCallback done) {
     case sim::IoOp::kWrite:
       ++stats_.write_cmds;
       stats_.host_write_bytes += req.bytes;
+      break;
+    case sim::IoOp::kRead:
+      ++stats_.read_cmds;
+      stats_.host_read_bytes += req.bytes;
+      break;
+    case sim::IoOp::kFlush:
+      ++stats_.flush_cmds;
+      break;
+  }
+  if (flat_) {
+    IoContext* ctx = alloc_io_ctx(req, submit_time, std::move(done));
+    ctx->stage = req.op == sim::IoOp::kWrite   ? IoStage::kWriteStart
+                 : req.op == sim::IoOp::kRead  ? IoStage::kReadStart
+                                               : IoStage::kFlushStart;
+    wake_then([this, ctx] { advance(ctx); });
+    return;
+  }
+  switch (req.op) {
+    case sim::IoOp::kWrite:
       wake_then([this, req, done = std::move(done), submit_time]() mutable {
         start_write(req, std::move(done), submit_time);
       });
       break;
     case sim::IoOp::kRead:
-      ++stats_.read_cmds;
-      stats_.host_read_bytes += req.bytes;
       wake_then([this, req, done = std::move(done), submit_time]() mutable {
         start_read(req, std::move(done), submit_time);
       });
       break;
     case sim::IoOp::kFlush:
-      ++stats_.flush_cmds;
       wake_then([this, req, done = std::move(done), submit_time]() mutable {
         start_flush(req, std::move(done), submit_time);
       });
       break;
   }
+}
+
+SsdDevice::IoContext* SsdDevice::alloc_io_ctx(const sim::IoRequest& req,
+                                              TimeNs submit_time, sim::IoCallback done) {
+  IoContext* ctx;
+  if (io_ctx_free_ != nullptr) {
+    ctx = io_ctx_free_;
+    io_ctx_free_ = ctx->next_free;
+    --io_ctx_free_count_;
+  } else {
+    ctx = &io_ctx_.emplace_back();
+  }
+  ctx->req = req;
+  ctx->submit_time = submit_time;
+  ctx->done = std::move(done);
+  ctx->media_runs.clear();
+  ctx->next_free = nullptr;
+  return ctx;
+}
+
+// One host IO = one context walking this switch; every hop (resource grant,
+// timer, media completion) re-enters with the next stage already recorded.
+// The hops mirror the legacy closure chains exactly — same resources, same
+// delays, same call order — so the two paths are event-for-event identical.
+void SsdDevice::advance(IoContext* ctx) {
+  switch (ctx->stage) {
+    case IoStage::kWriteStart:
+      ctx->stage = IoStage::kWriteCoreHeld;
+      cores_.acquire([this, ctx] { advance(ctx); });
+      return;
+    case IoStage::kWriteCoreHeld:
+      ctx->stage = IoStage::kWriteCoreDone;
+      sim_.schedule_after(scaled_write(config_.t_proc_write), [this, ctx] { advance(ctx); });
+      return;
+    case IoStage::kWriteCoreDone:
+      cores_.release();
+      ctx->stage = IoStage::kWriteBuffered;
+      reserve_buffer(ctx->req.bytes, [this, ctx] { advance(ctx); });
+      return;
+    case IoStage::kWriteBuffered:
+      ctx->stage = IoStage::kWriteLinkHeld;
+      link_.acquire([this, ctx] { advance(ctx); });
+      return;
+    case IoStage::kWriteLinkHeld:
+      ctx->stage = IoStage::kWriteXferDone;
+      sim_.schedule_after(link_time(ctx->req.bytes), [this, ctx] { advance(ctx); });
+      return;
+    case IoStage::kWriteXferDone:
+      link_.release();
+      enqueue_destage_flat(ctx->req.offset / config_.sector_bytes,
+                           static_cast<std::uint32_t>(ctx->req.bytes / config_.sector_bytes));
+      ctx->stage = IoStage::kComplete;
+      sim_.schedule_after(scaled_write(config_.t_fw_write) + dma_gap_time(ctx->req.bytes),
+                          [this, ctx] { advance(ctx); });
+      return;
+
+    case IoStage::kReadStart:
+      ctx->stage = IoStage::kReadCoreHeld;
+      cores_.acquire([this, ctx] { advance(ctx); });
+      return;
+    case IoStage::kReadCoreHeld:
+      ctx->stage = IoStage::kReadCoreDone;
+      sim_.schedule_after(scaled(config_.t_proc_read), [this, ctx] { advance(ctx); });
+      return;
+    case IoStage::kReadCoreDone: {
+      cores_.release();
+      // Units still sitting in the write buffer are served from DRAM.
+      ctx->media_runs.clear();
+      buffered_.for_each_unbuffered(
+          ctx->req.offset / config_.sector_bytes, ctx->req.bytes / config_.sector_bytes,
+          [ctx](std::uint64_t first, std::uint64_t len) {
+            ctx->media_runs.push_back(Run{first, static_cast<std::uint32_t>(len)});
+          });
+      ctx->stage = IoStage::kReadMediaDone;
+      if (ctx->media_runs.empty()) {
+        advance(ctx);  // full buffer hit: no media trip (same as legacy)
+        return;
+      }
+      ftl_->read_runs(ctx->media_runs.data(), ctx->media_runs.size(),
+                      [this, ctx] { advance(ctx); });
+      return;
+    }
+    case IoStage::kReadMediaDone:
+      ctx->stage = IoStage::kReadLinkHeld;
+      link_.acquire([this, ctx] { advance(ctx); });
+      return;
+    case IoStage::kReadLinkHeld:
+      ctx->stage = IoStage::kReadXferDone;
+      sim_.schedule_after(link_time(ctx->req.bytes), [this, ctx] { advance(ctx); });
+      return;
+    case IoStage::kReadXferDone:
+      link_.release();
+      ctx->stage = IoStage::kComplete;
+      sim_.schedule_after(scaled(config_.t_fw_read) + dma_gap_time(ctx->req.bytes),
+                          [this, ctx] { advance(ctx); });
+      return;
+
+    case IoStage::kFlushStart:
+      ctx->stage = IoStage::kFlushCoreHeld;
+      cores_.acquire([this, ctx] { advance(ctx); });
+      return;
+    case IoStage::kFlushCoreHeld:
+      ctx->stage = IoStage::kFlushCoreDone;
+      sim_.schedule_after(scaled(config_.t_proc_write), [this, ctx] { advance(ctx); });
+      return;
+    case IoStage::kFlushCoreDone:
+      cores_.release();
+      maybe_destage_flat(/*force_partial=*/true);
+      if (destage_runs_.empty() && inflight_programs_ == 0) {
+        io_complete(ctx);
+        return;
+      }
+      ctx->stage = IoStage::kComplete;
+      flush_waiters_.push_back([this, ctx] { advance(ctx); });
+      return;
+
+    case IoStage::kComplete:
+      io_complete(ctx);
+      return;
+  }
+}
+
+void SsdDevice::io_complete(IoContext* ctx) {
+  const sim::IoRequest req = ctx->req;
+  const TimeNs submit_time = ctx->submit_time;
+  sim::IoCallback done = std::move(ctx->done);
+  // Recycle before invoking the completion: a callback that submits the next
+  // IO (closed-loop workloads) reuses this slot, keeping the pool at QD.
+  ctx->next_free = io_ctx_free_;
+  io_ctx_free_ = ctx;
+  ++io_ctx_free_count_;
+  --host_inflight_;
+  done(sim::IoCompletion{req, submit_time, sim_.now()});
+  maybe_enter_pending_slumber();
 }
 
 void SsdDevice::start_write(sim::IoRequest req, sim::IoCallback done, TimeNs submit_time) {
@@ -246,7 +397,7 @@ void SsdDevice::complete(const sim::IoRequest& req, TimeNs submit_time,
   maybe_enter_pending_slumber();
 }
 
-void SsdDevice::reserve_buffer(std::uint64_t bytes, std::function<void()> granted) {
+void SsdDevice::reserve_buffer(std::uint64_t bytes, sim::UniqueCallback granted) {
   PAS_CHECK_MSG(bytes <= config_.write_buffer_bytes,
                 "single write larger than the write buffer");
   if (buffer_waiters_.empty() && buffer_used_ + bytes <= config_.write_buffer_bytes) {
@@ -255,7 +406,7 @@ void SsdDevice::reserve_buffer(std::uint64_t bytes, std::function<void()> grante
     return;
   }
   ++stats_.buffer_stall_events;
-  buffer_waiters_.emplace_back(bytes, std::move(granted));
+  buffer_waiters_.push_back({bytes, std::move(granted)});
 }
 
 void SsdDevice::release_buffer(std::uint64_t bytes) {
@@ -270,6 +421,64 @@ void SsdDevice::release_buffer(std::uint64_t bytes) {
   }
 }
 
+SsdDevice::DestageCtx* SsdDevice::alloc_destage_ctx() {
+  DestageCtx* ctx;
+  if (destage_ctx_free_ != nullptr) {
+    ctx = destage_ctx_free_;
+    destage_ctx_free_ = ctx->next_free;
+  } else {
+    ctx = &destage_ctx_.emplace_back();
+  }
+  ctx->runs.clear();
+  ctx->bytes = 0;
+  ctx->next_free = nullptr;
+  return ctx;
+}
+
+void SsdDevice::enqueue_destage_flat(std::uint64_t first_lpn, std::uint32_t units) {
+  destage_runs_.push(first_lpn, units);
+  buffered_.add(first_lpn, units);
+  last_enqueue_ = sim_.now();
+  maybe_destage_flat(/*force_partial=*/false);
+  if (!destage_runs_.empty()) arm_destage_timer();
+}
+
+void SsdDevice::maybe_destage_flat(bool force_partial) {
+  const std::uint32_t stripe = ftl_->units_per_stripe();
+  // Batched flushing: wait for a batch worth of buffered data, then drain
+  // the fifo completely before pausing (see SsdConfig::destage_batch_bytes).
+  if (force_partial) draining_ = true;
+  if (!draining_) {
+    const std::uint64_t batch_units = config_.destage_batch_bytes / config_.sector_bytes;
+    if (destage_runs_.units() < std::max<std::uint64_t>(batch_units, stripe)) return;
+    draining_ = true;
+  }
+  while (destage_runs_.units() >= stripe || (force_partial && !destage_runs_.empty())) {
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(stripe, destage_runs_.units()));
+    DestageCtx* ctx = alloc_destage_ctx();
+    destage_runs_.pop_units(n, ctx->runs);
+    ctx->bytes = static_cast<std::uint64_t>(n) * config_.sector_bytes;
+    ++inflight_programs_;
+    ftl_->write_runs(ctx->runs.data(), ctx->runs.size(), n,
+                     [this, ctx] { destage_done(ctx); });
+  }
+  if (destage_runs_.units() < stripe) draining_ = false;  // batch drained
+}
+
+void SsdDevice::destage_done(DestageCtx* ctx) {
+  --inflight_programs_;
+  for (const Run& r : ctx->runs) buffered_.remove(r.first, r.len);
+  const std::uint64_t bytes = ctx->bytes;
+  // Recycle before releasing the buffer: granted waiters may run a write
+  // stage that destages again and reuses this slot.
+  ctx->next_free = destage_ctx_free_;
+  destage_ctx_free_ = ctx;
+  release_buffer(bytes);
+  check_flush_waiters();
+  maybe_enter_pending_slumber();
+}
+
 void SsdDevice::enqueue_destage(std::uint64_t first_lpn, std::uint32_t units) {
   for (std::uint32_t u = 0; u < units; ++u) {
     destage_fifo_.push_back(first_lpn + u);
@@ -281,6 +490,14 @@ void SsdDevice::enqueue_destage(std::uint64_t first_lpn, std::uint32_t units) {
 }
 
 void SsdDevice::maybe_destage(bool force_partial) {
+  if (flat_) {
+    maybe_destage_flat(force_partial);
+  } else {
+    maybe_destage_legacy(force_partial);
+  }
+}
+
+void SsdDevice::maybe_destage_legacy(bool force_partial) {
   const std::uint32_t stripe = ftl_->units_per_stripe();
   // Batched flushing: wait for a batch worth of buffered data, then drain
   // the fifo completely before pausing (see SsdConfig::destage_batch_bytes).
@@ -319,7 +536,7 @@ void SsdDevice::arm_destage_timer() {
   const TimeNs timeout = config_.destage_idle_timeout;
   sim_.schedule_after(timeout, [this, timeout] {
     destage_timer_armed_ = false;
-    if (destage_fifo_.empty()) return;
+    if (destage_queue_empty()) return;
     if (sim_.now() - last_enqueue_ >= timeout) {
       maybe_destage(/*force_partial=*/true);
     } else {
@@ -329,7 +546,7 @@ void SsdDevice::arm_destage_timer() {
 }
 
 void SsdDevice::check_flush_waiters() {
-  if (!destage_fifo_.empty() || inflight_programs_ != 0) return;
+  if (!destage_queue_empty() || inflight_programs_ != 0) return;
   auto waiters = std::move(flush_waiters_);
   flush_waiters_.clear();
   for (auto& w : waiters) w();
@@ -352,12 +569,20 @@ Joules SsdDevice::nand_op_energy(const nand::NandOp& op) const {
 
 void SsdDevice::issue_nand(nand::NandOp op) {
   const Joules cost = nand_op_energy(op);
+  // Fast path: an uncapped or credit-rich governor admits synchronously, so
+  // the op is never wrapped in a closure (a NandOp exceeds the inline
+  // callback buffer — queuing it is the one remaining heap fallback, and it
+  // only happens while actually throttled).
+  if (governor_.try_admit(cost, op.priority)) {
+    nand_.submit(std::move(op));
+    return;
+  }
   const bool priority = op.priority;
-  governor_.admit(cost, [this, op = std::move(op)]() mutable { nand_.submit(std::move(op)); },
-                  priority);
+  governor_.enqueue(cost, [this, op = std::move(op)]() mutable { nand_.submit(std::move(op)); },
+                    priority);
 }
 
-void SsdDevice::wake_then(std::function<void()> work) {
+void SsdDevice::wake_then(sim::UniqueCallback work) {
   switch (alpm_) {
     case AlpmState::kActive:
       work();
@@ -426,7 +651,7 @@ void SsdDevice::maybe_enter_pending_slumber() {
 }
 
 bool SsdDevice::device_idle() const {
-  return host_inflight_ == 0 && destage_fifo_.empty() && inflight_programs_ == 0 &&
+  return host_inflight_ == 0 && destage_queue_empty() && inflight_programs_ == 0 &&
          ftl_->quiescent() && nand_.outstanding() == 0;
 }
 

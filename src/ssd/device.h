@@ -29,10 +29,16 @@
 #include "sim/block_device.h"
 #include "sim/power_management.h"
 #include "sim/resources.h"
+#include "sim/ring_queue.h"
 #include "sim/simulator.h"
 #include "ssd/config.h"
 #include "ssd/ftl.h"
 #include "ssd/governor.h"
+#include "ssd/runs.h"
+
+// Feature macro for dual-build A/B tooling (bench_micro_ssd compiles its
+// flat-path cases only when the tree has the flat datapath).
+#define PAS_SSD_FLAT_PATH 1
 
 namespace pas::ssd {
 
@@ -86,26 +92,73 @@ class SsdDevice : public sim::BlockDevice, public sim::PowerManageable {
 
   std::uint64_t write_buffer_used() const { return buffer_used_; }
 
+  // IoContext pool introspection (tests): slots ever created / currently free.
+  std::size_t io_ctx_allocated() const { return io_ctx_.size(); }
+  std::size_t io_ctx_free() const { return io_ctx_free_count_; }
+
  private:
   enum class AlpmState : std::uint8_t { kActive, kEntering, kSlumber, kExiting };
 
+  // Flat datapath: one pooled context per host IO. Stage continuations
+  // capture {this, ctx} — 16 bytes, always inline in the kernel's event slot
+  // — so a steady-state IO allocates nothing; contexts and their run vectors
+  // recycle through a free list sized by the peak queue depth.
+  enum class IoStage : std::uint8_t {
+    kWriteStart, kWriteCoreHeld, kWriteCoreDone, kWriteBuffered, kWriteLinkHeld,
+    kWriteXferDone,
+    kReadStart, kReadCoreHeld, kReadCoreDone, kReadMediaDone, kReadLinkHeld,
+    kReadXferDone,
+    kFlushStart, kFlushCoreHeld, kFlushCoreDone,
+    kComplete,
+  };
+  struct IoContext {
+    sim::IoRequest req;
+    TimeNs submit_time = 0;
+    sim::IoCallback done;
+    IoStage stage = IoStage::kComplete;
+    std::vector<Run> media_runs;  // read: unbuffered sub-runs (capacity reused)
+    IoContext* next_free = nullptr;
+  };
+  // Destage batch context: the stripe's runs live here from stripe assembly
+  // until program completion (buffer release + range removal) — no
+  // copy-into-vector-then-capture-by-value round trip.
+  struct DestageCtx {
+    std::vector<Run> runs;
+    std::uint64_t bytes = 0;
+    DestageCtx* next_free = nullptr;
+  };
+
+  IoContext* alloc_io_ctx(const sim::IoRequest& req, TimeNs submit_time,
+                          sim::IoCallback done);
+  void advance(IoContext* ctx);
+  void io_complete(IoContext* ctx);
+  DestageCtx* alloc_destage_ctx();
+  void enqueue_destage_flat(std::uint64_t first_lpn, std::uint32_t units);
+  void maybe_destage_flat(bool force_partial);
+  void destage_done(DestageCtx* ctx);
+
+  // Legacy datapath (per-IO closure chains; reference for A/B comparison).
   void start_write(sim::IoRequest req, sim::IoCallback done, TimeNs submit_time);
   void start_read(sim::IoRequest req, sim::IoCallback done, TimeNs submit_time);
   void start_flush(sim::IoRequest req, sim::IoCallback done, TimeNs submit_time);
   void complete(const sim::IoRequest& req, TimeNs submit_time, const sim::IoCallback& done);
-
-  void reserve_buffer(std::uint64_t bytes, std::function<void()> granted);
-  void release_buffer(std::uint64_t bytes);
   void enqueue_destage(std::uint64_t first_lpn, std::uint32_t units);
+  void maybe_destage_legacy(bool force_partial);
+
+  void reserve_buffer(std::uint64_t bytes, sim::UniqueCallback granted);
+  void release_buffer(std::uint64_t bytes);
   void maybe_destage(bool force_partial);
   void arm_destage_timer();
   void check_flush_waiters();
+  bool destage_queue_empty() const {
+    return flat_ ? destage_runs_.empty() : destage_fifo_.empty();
+  }
 
   void issue_nand(nand::NandOp op);
   Joules nand_op_energy(const nand::NandOp& op) const;
   void schedule_bg_activity();
 
-  void wake_then(std::function<void()> work);
+  void wake_then(sim::UniqueCallback work);
   void begin_alpm_entry();
   void begin_alpm_exit();
   void maybe_enter_pending_slumber();
@@ -133,16 +186,28 @@ class SsdDevice : public sim::BlockDevice, public sim::PowerManageable {
   sim::ResourcePool cores_;
   sim::SerialResource link_;
 
+  const bool flat_;  // config_.flat_datapath, latched at construction
+
+  // IO / destage context pools (flat path). Deques give stable addresses;
+  // slots recycle through intrusive free lists.
+  std::deque<IoContext> io_ctx_;
+  IoContext* io_ctx_free_ = nullptr;
+  std::size_t io_ctx_free_count_ = 0;
+  std::deque<DestageCtx> destage_ctx_;
+  DestageCtx* destage_ctx_free_ = nullptr;
+
   // Write buffer.
   std::uint64_t buffer_used_ = 0;
-  std::deque<std::pair<std::uint64_t, std::function<void()>>> buffer_waiters_;
-  std::deque<std::uint64_t> destage_fifo_;  // buffered lpns in arrival order
-  std::unordered_map<std::uint64_t, int> buffered_counts_;
+  sim::RingQueue<std::pair<std::uint64_t, sim::UniqueCallback>> buffer_waiters_;
+  RunFifo destage_runs_;     // flat path: buffered units as coalesced runs
+  BufferedRanges buffered_;  // flat path: interval view of buffered units
+  std::deque<std::uint64_t> destage_fifo_;  // legacy: buffered lpns in arrival order
+  std::unordered_map<std::uint64_t, int> buffered_counts_;  // legacy
   int inflight_programs_ = 0;
   TimeNs last_enqueue_ = 0;
   bool destage_timer_armed_ = false;
   bool draining_ = false;  // inside a destage batch
-  std::vector<std::function<void()>> flush_waiters_;
+  std::vector<sim::UniqueCallback> flush_waiters_;
 
   // Power state.
   int power_state_ = 0;
@@ -152,7 +217,7 @@ class SsdDevice : public sim::BlockDevice, public sim::PowerManageable {
   // ALPM.
   AlpmState alpm_ = AlpmState::kActive;
   bool slumber_requested_ = false;
-  std::deque<std::function<void()>> wake_waiters_;
+  std::deque<sim::UniqueCallback> wake_waiters_;
 
   int host_inflight_ = 0;
   bool bg_timer_armed_ = false;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
@@ -69,6 +68,45 @@ void Ftl::ensure_tables() {
           static_cast<std::uint32_t>(d) * blocks_per_die_ + i);
     }
   }
+  gc_head_.assign(units_per_block_ + 1, kUnmapped);
+  gc_next_.assign(total_blocks, kUnmapped);
+  gc_prev_.assign(total_blocks, kUnmapped);
+  gc_min_bucket_ = static_cast<std::uint32_t>(gc_head_.size());  // all empty
+}
+
+void Ftl::gc_index_insert(std::uint32_t blk_idx) {
+  const std::uint32_t v = blocks_[blk_idx].valid;
+  const std::uint32_t old_head = gc_head_[v];
+  gc_next_[blk_idx] = old_head;
+  gc_prev_[blk_idx] = kGcHead;
+  if (old_head != kUnmapped) gc_prev_[old_head] = blk_idx;
+  gc_head_[v] = blk_idx;
+  if (v < gc_min_bucket_) gc_min_bucket_ = v;
+}
+
+void Ftl::gc_index_remove(std::uint32_t blk_idx) {
+  const std::uint32_t next = gc_next_[blk_idx];
+  const std::uint32_t prev = gc_prev_[blk_idx];
+  PAS_DCHECK(prev != kUnmapped);
+  if (prev == kGcHead) {
+    gc_head_[blocks_[blk_idx].valid] = next;
+  } else {
+    gc_next_[prev] = next;
+  }
+  if (next != kUnmapped) gc_prev_[next] = prev;
+  gc_prev_[blk_idx] = kUnmapped;
+}
+
+void Ftl::gc_refresh(std::uint32_t blk_idx) {
+  const auto& blk = blocks_[blk_idx];
+  const bool candidate =
+      blk.state == Block::State::kSealed && !blk.queued_dead && !blk.moving;
+  const bool indexed = gc_prev_[blk_idx] != kUnmapped;
+  if (candidate && !indexed) {
+    gc_index_insert(blk_idx);
+  } else if (!candidate && indexed) {
+    gc_index_remove(blk_idx);
+  }
 }
 
 bool Ftl::is_mapped(std::uint64_t lpn) const {
@@ -77,22 +115,38 @@ bool Ftl::is_mapped(std::uint64_t lpn) const {
 }
 
 void Ftl::set_valid(std::uint32_t ppn, std::uint64_t lpn) {
-  auto& blk = blocks_[block_of(ppn)];
+  const std::uint32_t blk_idx = block_of(ppn);
+  auto& blk = blocks_[blk_idx];
   const std::uint32_t unit = ppn % units_per_block_;
-  PAS_DCHECK(!test_valid(block_of(ppn), unit));
+  PAS_DCHECK(!test_valid(blk_idx, unit));
   blk.bitmap[unit / 64] |= (1ULL << (unit % 64));
-  ++blk.valid;
+  if (gc_prev_[blk_idx] != kUnmapped) {
+    // Indexed candidate changing buckets (valid can rise on a sealed block:
+    // the stripe that sealed it is mapped after the seal).
+    gc_index_remove(blk_idx);
+    ++blk.valid;
+    gc_index_insert(blk_idx);
+  } else {
+    ++blk.valid;
+  }
   rmap_[ppn] = static_cast<std::uint32_t>(lpn);
 }
 
 void Ftl::clear_valid(std::uint32_t ppn) {
-  auto& blk = blocks_[block_of(ppn)];
+  const std::uint32_t blk_idx = block_of(ppn);
+  auto& blk = blocks_[blk_idx];
   const std::uint32_t unit = ppn % units_per_block_;
-  PAS_DCHECK(test_valid(block_of(ppn), unit));
+  PAS_DCHECK(test_valid(blk_idx, unit));
   blk.bitmap[unit / 64] &= ~(1ULL << (unit % 64));
   PAS_CHECK(blk.valid > 0);
-  --blk.valid;
-  if (blk.valid == 0) note_possibly_dead(block_of(ppn));
+  if (gc_prev_[blk_idx] != kUnmapped) {
+    gc_index_remove(blk_idx);
+    --blk.valid;
+    gc_index_insert(blk_idx);
+  } else {
+    --blk.valid;
+  }
+  if (blk.valid == 0) note_possibly_dead(blk_idx);
 }
 
 bool Ftl::test_valid(std::uint32_t blk_idx, std::uint32_t unit) const {
@@ -131,6 +185,7 @@ std::uint32_t Ftl::allocate_stripe(WriteStream& stream, bool for_gc) {
     blk.next_unit += units_per_stripe_;
     if (blk.next_unit >= units_per_block_) {
       blk.state = Block::State::kSealed;
+      gc_refresh(blk_idx);  // becomes a victim candidate
       note_possibly_dead(blk_idx);
     }
     stream.rr = (die + 1) % dies_;
@@ -139,90 +194,188 @@ std::uint32_t Ftl::allocate_stripe(WriteStream& stream, bool for_gc) {
   return kUnmapped;
 }
 
-void Ftl::write_units(std::vector<std::uint64_t> lpns, std::function<void()> done) {
+void Ftl::write_units(std::vector<std::uint64_t> lpns, sim::UniqueCallback done) {
   PAS_CHECK(!lpns.empty());
-  PAS_CHECK(lpns.size() <= units_per_stripe_);
+  // Compress the unit list to runs and share the run-based path: a run
+  // expands back to the identical unit sequence, so mapping updates and the
+  // issued program are unchanged.
+  runs_scratch_.clear();
+  for (const std::uint64_t lpn : lpns) {
+    if (!runs_scratch_.empty() &&
+        runs_scratch_.back().first + runs_scratch_.back().len == lpn) {
+      ++runs_scratch_.back().len;
+    } else {
+      runs_scratch_.push_back(Run{lpn, 1});
+    }
+  }
+  write_runs(runs_scratch_.data(), runs_scratch_.size(),
+             static_cast<std::uint32_t>(lpns.size()), std::move(done));
+}
+
+void Ftl::write_runs(const Run* runs, std::size_t nruns, std::uint32_t units,
+                     sim::UniqueCallback done) {
+  PAS_CHECK(nruns > 0);
+  PAS_CHECK(units > 0 && units <= units_per_stripe_);
   PAS_CHECK(done != nullptr);
   ensure_tables();
   // Preserve FIFO order with any writes already stalled on free space.
-  if (!stalled_writes_.empty() || !try_write(lpns, done)) {
-    stalled_writes_.emplace_back(std::move(lpns), std::move(done));
+  if (!stalled_writes_.empty() || !try_write_runs(runs, nruns, units, done)) {
+    StalledWrite s;
+    if (!stalled_spare_.empty()) {
+      s = std::move(stalled_spare_.back());
+      stalled_spare_.pop_back();
+    }
+    s.runs.assign(runs, runs + nruns);
+    s.units = units;
+    s.done = std::move(done);
+    stalled_writes_.push_back(std::move(s));
     gc_pump();
   }
 }
 
-bool Ftl::try_write(const std::vector<std::uint64_t>& lpns, std::function<void()>& done) {
+bool Ftl::try_write_runs(const Run* runs, std::size_t nruns, std::uint32_t units,
+                         sim::UniqueCallback& done) {
   gc_pump();
   const std::uint32_t ppn_start = allocate_stripe(host_stream_, /*for_gc=*/false);
   if (ppn_start == kUnmapped) return false;
 
-  for (std::size_t i = 0; i < lpns.size(); ++i) {
-    const std::uint64_t lpn = lpns[i];
-    PAS_CHECK(lpn < total_lpns_);
-    const std::uint32_t old = map_[lpn];
-    if (old != kUnmapped) clear_valid(old);
-    const auto ppn = ppn_start + static_cast<std::uint32_t>(i);
-    map_[lpn] = ppn;
-    set_valid(ppn, lpn);
+  std::uint32_t i = 0;
+  for (std::size_t r = 0; r < nruns; ++r) {
+    for (std::uint32_t k = 0; k < runs[r].len; ++k, ++i) {
+      const std::uint64_t lpn = runs[r].first + k;
+      PAS_CHECK(lpn < total_lpns_);
+      const std::uint32_t old = map_[lpn];
+      if (old != kUnmapped) clear_valid(old);
+      const auto ppn = ppn_start + i;
+      map_[lpn] = ppn;
+      set_valid(ppn, lpn);
+    }
   }
-  stats_.host_units_written += lpns.size();
+  PAS_CHECK(i == units);
+  stats_.host_units_written += units;
   ++stats_.nand_programs;
 
   nand::NandOp op;
   op.kind = nand::OpKind::kProgram;
   op.die = die_of_block(block_of(ppn_start));
-  op.transfer_bytes = static_cast<std::uint32_t>(lpns.size()) * config_.sector_bytes;
+  op.transfer_bytes = units * config_.sector_bytes;
   op.done = std::move(done);
   issue_(std::move(op));
   return true;
 }
 
-void Ftl::read_units(const std::vector<std::uint64_t>& lpns, std::function<void()> done) {
-  PAS_CHECK(!lpns.empty());
-  PAS_CHECK(done != nullptr);
-  ensure_tables();
-  // Coalesce units by physical page; unmapped units optionally read from a
-  // pseudo location (preconditioned-drive behaviour).
-  std::unordered_map<std::uint64_t, std::pair<int, std::uint32_t>> pages;  // key -> (die, units)
-  for (const std::uint64_t lpn : lpns) {
-    PAS_CHECK(lpn < total_lpns_);
-    const std::uint32_t ppn = map_[lpn];
-    if (ppn != kUnmapped) {
-      const std::uint64_t key = page_of(ppn);
-      auto [it, inserted] = pages.try_emplace(key, die_of_block(block_of(ppn)), 0u);
-      it->second.second += 1;
-    } else if (config_.unmapped_read_hits_media) {
-      const std::uint64_t pseudo_page = mix64(lpn / units_per_page_);
-      // Tag pseudo pages so they never collide with real page keys.
-      const std::uint64_t key = (1ULL << 63) | pseudo_page;
-      auto [it, inserted] =
-          pages.try_emplace(key, static_cast<int>(pseudo_page % static_cast<std::uint64_t>(dies_)), 0u);
-      it->second.second += 1;
+std::uint32_t Ftl::fanin_create(std::size_t count, sim::UniqueCallback done) {
+  std::uint32_t idx;
+  if (fanin_free_ != kUnmapped) {
+    idx = fanin_free_;
+    fanin_free_ = fanins_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(fanins_.size());
+    fanins_.emplace_back();
+  }
+  auto& f = fanins_[idx];
+  f.remaining = count;
+  f.done = std::move(done);
+  return idx;
+}
+
+void Ftl::fanin_complete(std::uint32_t idx) {
+  auto& f = fanins_[idx];
+  PAS_CHECK(f.remaining > 0);
+  if (--f.remaining > 0) return;
+  // Free the slot before running the continuation: the cascade may start a
+  // new batch that reuses it.
+  sim::UniqueCallback done = std::move(f.done);
+  f.next_free = fanin_free_;
+  fanin_free_ = idx;
+  done();
+}
+
+// Adds one unit to pages_scratch_, coalescing with an existing entry for the
+// same page. Kept in insertion order: NAND ops must issue in a portable,
+// deterministic order (hash-map iteration order is stdlib-specific, and
+// issue order decides both the per-op power-jitter RNG pairing and
+// same-timestamp event sequence). Linear scan: a host read is at most a few
+// dozen pages, and callers with sorted ppns hit the check-last fast path.
+void Ftl::add_page_unit(std::uint64_t key, int die) {
+  if (!pages_scratch_.empty() && pages_scratch_.back().key == key) {
+    pages_scratch_.back().units += 1;
+    return;
+  }
+  for (auto& p : pages_scratch_) {
+    if (p.key == key) {
+      p.units += 1;
+      return;
     }
   }
-  if (pages.empty()) {
+  pages_scratch_.push_back(PageRef{key, die, 1});
+}
+
+// Coalesces one mapping unit into pages_scratch_; unmapped units optionally
+// read from a pseudo location (preconditioned-drive behaviour).
+void Ftl::add_read_unit(std::uint64_t lpn) {
+  PAS_CHECK(lpn < total_lpns_);
+  const std::uint32_t ppn = map_[lpn];
+  if (ppn != kUnmapped) {
+    add_page_unit(page_of(ppn), die_of_block(block_of(ppn)));
+  } else if (config_.unmapped_read_hits_media) {
+    const std::uint64_t pseudo_page = mix64(lpn / units_per_page_);
+    // Tag pseudo pages so they never collide with real page keys.
+    add_page_unit((1ULL << 63) | pseudo_page,
+                  static_cast<int>(pseudo_page % static_cast<std::uint64_t>(dies_)));
+  }
+}
+
+void Ftl::issue_page_reads(sim::UniqueCallback done) {
+  if (pages_scratch_.empty()) {
     done();
     return;
   }
-  auto remaining = std::make_shared<std::size_t>(pages.size());
-  auto shared_done = [remaining, done = std::move(done)] {
-    if (--*remaining == 0) done();
-  };
-  for (const auto& [key, info] : pages) {
+  // Single-page batches (the common host case) skip the fan-in counter and
+  // carry the continuation in the op itself.
+  const std::uint32_t fanin = pages_scratch_.size() > 1
+                                  ? fanin_create(pages_scratch_.size(), std::move(done))
+                                  : kUnmapped;
+  for (const auto& p : pages_scratch_) {
     ++stats_.nand_page_reads;
     nand::NandOp op;
     op.kind = nand::OpKind::kRead;
-    op.die = info.first;
-    op.transfer_bytes = info.second * config_.sector_bytes;
-    op.done = shared_done;
+    op.die = p.die;
+    op.transfer_bytes = p.units * config_.sector_bytes;
+    if (fanin == kUnmapped) {
+      op.done = std::move(done);
+    } else {
+      op.done = [this, fanin] { fanin_complete(fanin); };
+    }
     issue_(std::move(op));
   }
+}
+
+void Ftl::read_units(const std::vector<std::uint64_t>& lpns, sim::UniqueCallback done) {
+  PAS_CHECK(!lpns.empty());
+  PAS_CHECK(done != nullptr);
+  ensure_tables();
+  pages_scratch_.clear();
+  for (const std::uint64_t lpn : lpns) add_read_unit(lpn);
+  issue_page_reads(std::move(done));
+}
+
+void Ftl::read_runs(const Run* runs, std::size_t nruns, sim::UniqueCallback done) {
+  PAS_CHECK(nruns > 0);
+  PAS_CHECK(done != nullptr);
+  ensure_tables();
+  pages_scratch_.clear();
+  for (std::size_t r = 0; r < nruns; ++r) {
+    for (std::uint32_t k = 0; k < runs[r].len; ++k) add_read_unit(runs[r].first + k);
+  }
+  issue_page_reads(std::move(done));
 }
 
 void Ftl::note_possibly_dead(std::uint32_t blk_idx) {
   auto& blk = blocks_[blk_idx];
   if (blk.state != Block::State::kSealed || blk.valid != 0 || blk.queued_dead) return;
   blk.queued_dead = true;
+  gc_refresh(blk_idx);  // dead blocks leave the victim index
   dead_blocks_.push_back(blk_idx);
   consecutive_defers_ = 0;  // fresh reclaim supply: lazy GC can keep waiting
 }
@@ -293,9 +446,26 @@ void Ftl::issue_erase(std::uint32_t blk_idx) {
   issue_(std::move(op));
 }
 
-void Ftl::start_move() {
-  // Greedy victim: sealed block with the fewest valid units.
-  std::uint32_t victim = kUnmapped;
+std::uint32_t Ftl::victim_pick_indexed() {
+  if (!tables_ready_) return kNoVictim;
+  while (gc_min_bucket_ < gc_head_.size() && gc_head_[gc_min_bucket_] == kUnmapped) {
+    ++gc_min_bucket_;
+  }
+  if (gc_min_bucket_ >= gc_head_.size()) return kNoVictim;  // no candidate
+  // Bucket lists are head-inserted and therefore unordered; scanning the
+  // (small) minimum bucket for the lowest block index reproduces the legacy
+  // linear scan's first-lowest-index tie-break exactly.
+  std::uint32_t best = kNoVictim;
+  for (std::uint32_t b = gc_head_[gc_min_bucket_]; b != kUnmapped; b = gc_next_[b]) {
+    best = std::min(best, b);
+  }
+  return best;
+}
+
+std::uint32_t Ftl::victim_scan_linear() const {
+  // The retired O(blocks) scan, kept verbatim as the reference the bucketed
+  // index is tested against.
+  std::uint32_t victim = kNoVictim;
   std::uint32_t best_valid = 0xFFFFFFFFu;
   for (std::uint32_t i = 0; i < blocks_.size(); ++i) {
     const auto& blk = blocks_[i];
@@ -305,7 +475,27 @@ void Ftl::start_move() {
       victim = i;
     }
   }
-  if (victim == kUnmapped) return;  // nothing sealed: wait for seals
+  return victim;
+}
+
+std::vector<Ftl::MovePair> Ftl::gc_vec_take() {
+  if (gc_vec_pool_.empty()) return {};
+  auto v = std::move(gc_vec_pool_.back());
+  gc_vec_pool_.pop_back();
+  return v;
+}
+
+void Ftl::gc_vec_put(std::vector<MovePair> v) {
+  v.clear();
+  gc_vec_pool_.push_back(std::move(v));
+}
+
+void Ftl::start_move() {
+  // Greedy victim: sealed block with the fewest valid units, via the
+  // valid-count bucket index (O(min-bucket) instead of O(blocks)).
+  const std::uint32_t victim = victim_pick_indexed();
+  if (victim == kNoVictim) return;  // nothing sealed: wait for seals
+  const std::uint32_t best_valid = blocks_[victim].valid;
   // Moving must gain at least one stripe of net free space, or GC would
   // churn data forever on a logically-full drive without freeing anything.
   if (best_valid + units_per_stripe_ > units_per_block_) return;
@@ -313,48 +503,53 @@ void Ftl::start_move() {
   ++moves_in_flight_;
   auto& blk = blocks_[victim];
   blk.moving = true;
+  gc_refresh(victim);  // mid-move blocks leave the victim index
   PAS_CHECK(blk.valid > 0);  // dead blocks go through the erase pipeline
-  // Snapshot the valid units, then read the pages that hold them.
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> pairs;
+  // Snapshot the valid units, then read the pages that hold them. The unit
+  // scan walks ppns in ascending order, so page coalescing always hits the
+  // check-last fast path and the page list comes out insertion-ordered
+  // (ascending page), not hash-iteration-ordered.
+  std::vector<MovePair> pairs = gc_vec_take();
   pairs.reserve(blk.valid);
-  std::unordered_map<std::uint64_t, std::pair<int, std::uint32_t>> pages;
+  pages_scratch_.clear();
   for (std::uint32_t unit = 0; unit < units_per_block_; ++unit) {
     if (!test_valid(victim, unit)) continue;
     const std::uint32_t ppn = victim * units_per_block_ + unit;
     pairs.emplace_back(rmap_[ppn], ppn);
-    auto [it, inserted] = pages.try_emplace(page_of(ppn), die_of_block(victim), 0u);
-    it->second.second += 1;
+    add_page_unit(page_of(ppn), die_of_block(victim));
   }
-  auto remaining = std::make_shared<std::size_t>(pages.size());
-  auto after_reads = [this, pairs = std::move(pairs), victim, remaining]() mutable {
-    if (--*remaining == 0) gc_move_batch(std::move(pairs), victim, nullptr);
-  };
-  for (const auto& [key, info] : pages) {
+  const std::uint32_t fanin =
+      fanin_create(pages_scratch_.size(), [this, pairs = std::move(pairs), victim]() mutable {
+        gc_move_batch(std::move(pairs), victim, nullptr);
+      });
+  for (const auto& p : pages_scratch_) {
     ++stats_.nand_page_reads;
     nand::NandOp op;
     op.kind = nand::OpKind::kRead;
-    op.die = info.first;
-    op.transfer_bytes = info.second * config_.sector_bytes;
+    op.die = p.die;
+    op.transfer_bytes = p.units * config_.sector_bytes;
     op.priority = true;  // reclaim must not starve behind host traffic
-    op.done = after_reads;
+    op.done = [this, fanin] { fanin_complete(fanin); };
     issue_(std::move(op));
   }
 }
 
-void Ftl::gc_move_batch(std::vector<std::pair<std::uint64_t, std::uint32_t>> pairs,
-                        std::uint32_t victim_blk, std::shared_ptr<int> programs_left) {
+void Ftl::gc_move_batch(std::vector<MovePair> pairs, std::uint32_t victim_blk,
+                        std::shared_ptr<int> programs_left) {
   if (programs_left == nullptr) programs_left = std::make_shared<int>(1);  // batch guard
   auto finish_move = [this, victim_blk] {
     blocks_[victim_blk].moving = false;
+    gc_refresh(victim_blk);  // back in the index if still sealed with survivors
     --moves_in_flight_;
     note_possibly_dead(victim_blk);
     gc_pump();
   };
   std::size_t i = 0;
+  std::vector<MovePair> chunk = gc_vec_take();
   while (i < pairs.size()) {
     // Assemble one stripe of still-valid units; drop units the host
     // overwrote while the GC read was in flight.
-    std::vector<std::pair<std::uint64_t, std::uint32_t>> chunk;
+    chunk.clear();
     while (i < pairs.size() && chunk.size() < units_per_stripe_) {
       const auto& [lpn, old_ppn] = pairs[i];
       ++i;
@@ -366,8 +561,12 @@ void Ftl::gc_move_batch(std::vector<std::pair<std::uint64_t, std::uint32_t>> pai
       // Concurrent reclaim transiently exhausted the pool: retry the rest of
       // this batch once in-flight erases release blocks. The batch guard on
       // `programs_left` keeps the move alive across the retry.
-      std::vector<std::pair<std::uint64_t, std::uint32_t>> rest = std::move(chunk);
+      std::vector<MovePair> rest = gc_vec_take();
+      rest.reserve(chunk.size() + (pairs.size() - i));
+      rest.insert(rest.end(), chunk.begin(), chunk.end());
       rest.insert(rest.end(), pairs.begin() + static_cast<std::ptrdiff_t>(i), pairs.end());
+      gc_vec_put(std::move(chunk));
+      gc_vec_put(std::move(pairs));
       defer_(milliseconds(2), [this, rest = std::move(rest), victim_blk, programs_left]() mutable {
         gc_move_batch(std::move(rest), victim_blk, programs_left);
       });
@@ -393,6 +592,8 @@ void Ftl::gc_move_batch(std::vector<std::pair<std::uint64_t, std::uint32_t>> pai
     };
     issue_(std::move(op));
   }
+  gc_vec_put(std::move(chunk));
+  gc_vec_put(std::move(pairs));
   // Release the batch guard; if no programs remain (or none were needed —
   // everything was overwritten while the reads ran), the move is done.
   if (--*programs_left == 0) finish_move();
@@ -400,8 +601,9 @@ void Ftl::gc_move_batch(std::vector<std::pair<std::uint64_t, std::uint32_t>> pai
 
 void Ftl::drain_stalled() {
   while (!stalled_writes_.empty()) {
-    auto& [lpns, done] = stalled_writes_.front();
-    if (!try_write(lpns, done)) return;
+    auto& s = stalled_writes_.front();
+    if (!try_write_runs(s.runs.data(), s.runs.size(), s.units, s.done)) return;
+    stalled_spare_.push_back(std::move(s));  // recycle the run-vector capacity
     stalled_writes_.pop_front();
   }
 }

@@ -13,14 +13,16 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "nand/array.h"
 #include "sim/callback.h"
+#include "sim/ring_queue.h"
 #include "ssd/config.h"
+#include "ssd/runs.h"
 
 namespace pas::ssd {
 
@@ -41,23 +43,31 @@ struct FtlStats {
 
 class Ftl {
  public:
-  using IssueNand = std::function<void(nand::NandOp)>;
+  using IssueNand = sim::UniqueFunction<void(nand::NandOp)>;
   // Schedules a callback after a simulated delay (provided by the device, so
   // the FTL can pace lazy GC without holding a simulator reference). The
   // callback is a sim::UniqueCallback so the device's trampoline hands it to
-  // the kernel's inline event slot without a std::function heap round-trip.
-  using Defer = std::function<void(TimeNs, sim::UniqueCallback)>;
+  // the kernel's inline event slot without a heap round-trip.
+  using Defer = sim::UniqueFunction<void(TimeNs, sim::UniqueCallback)>;
 
   Ftl(const SsdConfig& config, IssueNand issue, Defer defer, Rng rng);
 
   // Programs up to one stripe's worth of mapping units for the host.
   // Updates the map at issue time; `done` fires when the program completes.
   // May stall internally when free space requires GC first.
-  void write_units(std::vector<std::uint64_t> lpns, std::function<void()> done);
+  void write_units(std::vector<std::uint64_t> lpns, sim::UniqueCallback done);
 
   // Reads the given mapping units; coalesces units sharing a physical page
   // into one NAND read. `done` fires when all page reads complete.
-  void read_units(const std::vector<std::uint64_t>& lpns, std::function<void()> done);
+  void read_units(const std::vector<std::uint64_t>& lpns, sim::UniqueCallback done);
+
+  // Run-based forms used by the flat datapath: identical mapping and op-issue
+  // sequence to the lpn-vector forms (a run expands to its units in order),
+  // without materializing a per-unit vector per IO. `runs` only needs to stay
+  // alive for the duration of the call.
+  void write_runs(const Run* runs, std::size_t nruns, std::uint32_t units,
+                  sim::UniqueCallback done);
+  void read_runs(const Run* runs, std::size_t nruns, sim::UniqueCallback done);
 
   // Instantly maps the whole logical space sequentially (no simulated time):
   // models a drive filled with data before the experiment.
@@ -74,6 +84,15 @@ class Ftl {
   bool is_mapped(std::uint64_t lpn) const;
   // True when no deferred work (stalled host writes or an active GC) remains.
   bool quiescent() const { return !gc_active() && stalled_writes_.empty(); }
+
+  // GC victim-selection hooks, exposed so tests can assert the bucketed index
+  // always agrees with a linear scan over the block table. Both return the
+  // lowest-index sealed block with the fewest valid units (kNoVictim when no
+  // candidate exists); neither mutates selection state beyond the index's
+  // min-bucket hint.
+  static constexpr std::uint32_t kNoVictim = 0xFFFFFFFFu;
+  std::uint32_t victim_pick_indexed();
+  std::uint32_t victim_scan_linear() const;
 
  private:
   static constexpr std::uint32_t kUnmapped = 0xFFFFFFFFu;
@@ -117,8 +136,28 @@ class Ftl {
   bool open_block_on_die(int die, WriteStream& stream, bool for_gc);
 
   // Performs the allocation + mapping + program issue; returns false (with
-  // no state mutated) when free space is exhausted and the write must stall.
-  bool try_write(const std::vector<std::uint64_t>& lpns, std::function<void()>& done);
+  // no state mutated, `done` left intact) when free space is exhausted and
+  // the write must stall.
+  bool try_write_runs(const Run* runs, std::size_t nruns, std::uint32_t units,
+                      sim::UniqueCallback& done);
+
+  // One coalesced physical page in a read batch; kept in pages_scratch_ in
+  // insertion order so NAND ops issue in a portable, deterministic order.
+  struct PageRef {
+    std::uint64_t key;
+    int die;
+    std::uint32_t units;
+  };
+  void add_page_unit(std::uint64_t key, int die);
+  void add_read_unit(std::uint64_t lpn);
+  void issue_page_reads(sim::UniqueCallback done);
+
+  // Pooled fan-in counters for multi-page read batches: each page op's
+  // completion captures only {this, index} (16 bytes, inline in the op), and
+  // the joined continuation fires when the last page read lands. Slots are
+  // free-listed so steady-state reads allocate nothing.
+  std::uint32_t fanin_create(std::size_t count, sim::UniqueCallback done);
+  void fanin_complete(std::uint32_t idx);
   // Garbage collection. Fully-invalid ("dead") blocks are tracked eagerly
   // and erased in a pipeline; victims that still hold valid data are moved
   // lazily (deferring briefly while the host is actively invalidating), with
@@ -126,10 +165,21 @@ class Ftl {
   void note_possibly_dead(std::uint32_t blk_idx);
   void gc_pump();
   void start_move();
+  // Victim index maintenance: a block sits in the victim index exactly
+  // while it is a GC candidate (sealed, not queued dead, not mid-move).
+  void gc_index_insert(std::uint32_t blk_idx);
+  void gc_index_remove(std::uint32_t blk_idx);
+  void gc_refresh(std::uint32_t blk_idx);
+  // (lpn, old ppn) snapshots that travel through a move's read/program
+  // pipeline. The vectors recycle through gc_vec_pool_ so reclaim at the
+  // write cliff does not allocate per move (or per stripe).
+  using MovePair = std::pair<std::uint64_t, std::uint32_t>;
+  std::vector<MovePair> gc_vec_take();
+  void gc_vec_put(std::vector<MovePair> v);
   // `programs_left` carries a +1 batch guard across allocation retries; pass
   // nullptr on first entry.
-  void gc_move_batch(std::vector<std::pair<std::uint64_t, std::uint32_t>> pairs,
-                     std::uint32_t victim_blk, std::shared_ptr<int> programs_left);
+  void gc_move_batch(std::vector<MovePair> pairs, std::uint32_t victim_blk,
+                     std::shared_ptr<int> programs_left);
   void issue_erase(std::uint32_t blk_idx);
   void drain_stalled();
 
@@ -162,8 +212,43 @@ class Ftl {
   bool gc_defer_armed_ = false;
   int consecutive_defers_ = 0;
 
-  // Host writes waiting for free space (write cliff back-pressure).
-  std::deque<std::pair<std::vector<std::uint64_t>, std::function<void()>>> stalled_writes_;
+  // GC victim index: per valid-count intrusive doubly-linked list of
+  // candidate blocks, threaded through two fixed arrays (per-bucket vectors
+  // would re-grow as counts wander, a steady trickle of heap traffic). The
+  // pick scans the minimum non-empty bucket's list for the lowest block
+  // index, matching the legacy linear scan's tie-break. gc_min_bucket_ is a
+  // monotone hint: no candidate lives below it; inserts lower it, picks
+  // advance it past drained buckets.
+  static constexpr std::uint32_t kGcHead = 0xFFFFFFFEu;  // prev-link front marker
+  std::vector<std::uint32_t> gc_head_;  // valid -> first candidate, or kUnmapped
+  std::vector<std::uint32_t> gc_next_;  // block -> next in bucket, or kUnmapped
+  std::vector<std::uint32_t> gc_prev_;  // block -> prev / kGcHead; kUnmapped = not indexed
+  std::uint32_t gc_min_bucket_ = 0;
+
+  // Host writes waiting for free space (write cliff back-pressure). Drained
+  // nodes park in stalled_spare_ with their run-vector capacity intact, so a
+  // stall storm at the write cliff allocates each node once, not per stall.
+  struct StalledWrite {
+    std::vector<Run> runs;
+    std::uint32_t units = 0;
+    sim::UniqueCallback done;
+  };
+  sim::RingQueue<StalledWrite> stalled_writes_;
+  std::vector<StalledWrite> stalled_spare_;
+  std::vector<std::vector<MovePair>> gc_vec_pool_;
+
+  // Reused scratch buffers (capacity persists across IOs: steady-state reads
+  // and writes build their page/run lists without allocating).
+  std::vector<Run> runs_scratch_;
+  std::vector<PageRef> pages_scratch_;
+
+  struct FanIn {
+    std::size_t remaining = 0;
+    sim::UniqueCallback done;
+    std::uint32_t next_free = kUnmapped;
+  };
+  std::deque<FanIn> fanins_;  // stable addresses; grows to peak fan-out
+  std::uint32_t fanin_free_ = kUnmapped;
 };
 
 }  // namespace pas::ssd

@@ -39,25 +39,25 @@ void PowerGovernor::on_power_change() {
   if (!queue_.empty()) drain();
 }
 
-void PowerGovernor::admit(Joules cost, std::function<void()> go, bool priority) {
+bool PowerGovernor::try_admit(Joules cost, bool priority) {
   PAS_CHECK(cost >= 0.0);
-  PAS_CHECK(go != nullptr);
   integrate();
-  if (cap_ <= 0.0) {
-    go();
-    return;
-  }
+  if (cap_ <= 0.0) return true;
   if ((queue_.empty() || priority) && !paused_ && credit_ >= cost) {
     credit_ -= cost;  // charge the op's energy up front
-    go();
-    return;
+    return true;
   }
+  return false;
+}
+
+void PowerGovernor::enqueue(Joules cost, sim::UniqueCallback go, bool priority) {
+  PAS_CHECK(go != nullptr);
   if (queue_.empty() && !paused_) paused_ = true;  // budget exhausted: pause
   ++throttle_events_;
   if (priority) {
-    queue_.emplace_front(cost, std::move(go));
+    queue_.push_front({cost, std::move(go)});
   } else {
-    queue_.emplace_back(cost, std::move(go));
+    queue_.push_back({cost, std::move(go)});
   }
   schedule_retry();
 }

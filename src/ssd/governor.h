@@ -17,10 +17,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <utility>
 
+#include "common/check.h"
 #include "common/units.h"
+#include "sim/callback.h"
+#include "sim/ring_queue.h"
 #include "sim/simulator.h"
 
 namespace pas::ssd {
@@ -43,9 +46,26 @@ class PowerGovernor {
   // Must be called after every change to the device's total power.
   void on_power_change();
 
+  // Charges the budget and returns true when an op of the given cost can
+  // issue right now (uncapped state, or credit available with no queue to
+  // respect). The device's NAND issue path calls this first so the common
+  // uncapped/credit-rich case never materialises a closure at all.
+  bool try_admit(Joules cost, bool priority = false);
+
+  // Queues `go` until credit accumulates. Only valid after try_admit
+  // returned false for the same (cost, priority) at the same instant.
+  void enqueue(Joules cost, sim::UniqueCallback go, bool priority = false);
+
   // Runs `go` once the energy budget admits an op of the given cost.
   // Admissions are FIFO; priority ops (GC reclaim) jump the queue.
-  void admit(Joules cost, std::function<void()> go, bool priority = false);
+  void admit(Joules cost, sim::UniqueCallback go, bool priority = false) {
+    PAS_CHECK(go != nullptr);
+    if (try_admit(cost, priority)) {
+      go();
+      return;
+    }
+    enqueue(cost, std::move(go), priority);
+  }
 
   std::size_t queued() const { return queue_.size(); }
   Joules credit() const { return credit_; }
@@ -66,7 +86,7 @@ class PowerGovernor {
   Joules credit_ = 0.0;
   TimeNs last_t_ = 0;
   Watts last_p_ = 0.0;
-  std::deque<std::pair<Joules, std::function<void()>>> queue_;
+  sim::RingQueue<std::pair<Joules, sim::UniqueCallback>> queue_;
   sim::Simulator::EventId retry_ = sim::Simulator::kInvalidEvent;
   std::uint64_t throttle_events_ = 0;
 };

@@ -1,0 +1,128 @@
+#include "sim/ring_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace pas::sim {
+namespace {
+
+TEST(RingQueue, StartsEmpty) {
+  RingQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RingQueue, FifoOrderAcrossGrowth) {
+  RingQueue<int> q;
+  for (int i = 0; i < 100; ++i) q.push_back(i);  // grows 8 -> 128
+  EXPECT_EQ(q.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+// Interleaved pushes and pops walk head_ around the buffer many times,
+// exercising the wrap mask and growth-while-wrapped; a std::deque is the
+// reference model.
+TEST(RingQueue, MatchesDequeUnderRandomInterleaving) {
+  RingQueue<int> q;
+  std::deque<int> model;
+  Rng rng(42);
+  int next = 0;
+  for (int step = 0; step < 10000; ++step) {
+    if (model.empty() || rng.next_double() < 0.55) {
+      q.push_back(next);
+      model.push_back(next);
+      ++next;
+    } else {
+      ASSERT_EQ(q.front(), model.front());
+      q.pop_front();
+      model.pop_front();
+    }
+    ASSERT_EQ(q.size(), model.size());
+    if (!model.empty()) {
+      ASSERT_EQ(q.front(), model.front());
+      ASSERT_EQ(q.back(), model.back());
+    }
+  }
+  while (!model.empty()) {
+    ASSERT_EQ(q.front(), model.front());
+    q.pop_front();
+    model.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, PushFrontPlacesAheadOfQueue) {
+  RingQueue<int> q;
+  q.push_back(1);
+  q.push_back(2);
+  q.push_front(0);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q[0], 0);
+  EXPECT_EQ(q[1], 1);
+  EXPECT_EQ(q[2], 2);
+}
+
+TEST(RingQueue, InsertSecondWithSingleElementBecomesBack) {
+  RingQueue<int> q;
+  q.push_back(7);
+  q.insert_second(8);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q[0], 7);
+  EXPECT_EQ(q[1], 8);
+}
+
+TEST(RingQueue, InsertSecondLandsBehindFront) {
+  RingQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.push_back(i);
+  q.insert_second(99);
+  EXPECT_EQ(q.size(), 6u);
+  EXPECT_EQ(q[0], 0);
+  EXPECT_EQ(q[1], 99);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(q[i + 1], i);
+}
+
+// insert_second at exactly full capacity forces a growth while the front
+// element is being relocated; the by-value parameter keeps the inserted
+// value safe across the reallocation.
+TEST(RingQueue, InsertSecondAtFullCapacityGrowsSafely) {
+  RingQueue<int> q;
+  for (int i = 0; i < 8; ++i) q.push_back(i);  // initial capacity exactly full
+  q.insert_second(99);
+  ASSERT_EQ(q.size(), 9u);
+  EXPECT_EQ(q[0], 0);
+  EXPECT_EQ(q[1], 99);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(q[i + 1], i);
+}
+
+TEST(RingQueue, MoveOnlyPayload) {
+  RingQueue<std::unique_ptr<int>> q;
+  q.push_back(std::make_unique<int>(1));
+  q.push_back(std::make_unique<int>(2));
+  auto p = std::move(q.front());
+  q.pop_front();
+  EXPECT_EQ(*p, 1);
+  EXPECT_EQ(*q.front(), 2);
+}
+
+// Popped slots must release their payload immediately (callbacks hold
+// captures alive); a lingering reference would only die when the slot is
+// overwritten by a later push.
+TEST(RingQueue, PopFrontReleasesPayloadImmediately) {
+  RingQueue<std::shared_ptr<int>> q;
+  auto payload = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = payload;
+  q.push_back(std::move(payload));
+  q.pop_front();
+  EXPECT_TRUE(watch.expired());
+}
+
+}  // namespace
+}  // namespace pas::sim
